@@ -1,0 +1,5 @@
+"""Setup shim so editable installs work with legacy (non-PEP-517) tooling."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Analysis helpers: centrality computation and report formatting."""
+
+from repro.analysis.centrality import (
+    CentralityReport,
+    centrality_of_groups,
+    partition_intensity,
+    trace_centrality,
+)
+from repro.analysis.reports import format_percent, format_series, format_table, two_hour_bucket_labels
+
+__all__ = [
+    "CentralityReport",
+    "centrality_of_groups",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "partition_intensity",
+    "trace_centrality",
+    "two_hour_bucket_labels",
+]

@@ -1,0 +1,143 @@
+"""Logical control channels: control links, state links and peer links.
+
+Paper §III-B.3 defines three channel types.  A channel here is a small
+stateful object that models availability (up/down), counts delivered and
+dropped messages, and tracks bytes so the evaluation can report control-plane
+overhead.  Channels do not move real bytes; the control logic calls
+``deliver`` and inspects the returned boolean.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ChannelError
+from repro.controlplane.messages import ControlMessage
+
+
+class ChannelType(enum.Enum):
+    """The three logical channel kinds of the hybrid control model."""
+
+    CONTROL_LINK = "control_link"
+    STATE_LINK = "state_link"
+    PEER_LINK = "peer_link"
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Delivery statistics of one channel."""
+
+    delivered: int = 0
+    dropped: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total messages offered to the channel."""
+        return self.delivered + self.dropped
+
+
+class ControlChannel:
+    """One logical link between two control-plane endpoints."""
+
+    __slots__ = ("channel_type", "endpoint_a", "endpoint_b", "_up", "stats", "_log", "_keep_log")
+
+    def __init__(
+        self,
+        channel_type: ChannelType,
+        endpoint_a: str,
+        endpoint_b: str,
+        *,
+        keep_log: bool = False,
+    ) -> None:
+        self.channel_type = channel_type
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self._up = True
+        self.stats = ChannelStats()
+        self._keep_log = keep_log
+        self._log: List[ControlMessage] = []
+
+    @property
+    def is_up(self) -> bool:
+        """Whether the channel currently delivers messages."""
+        return self._up
+
+    def fail(self) -> None:
+        """Bring the channel down (failure injection)."""
+        self._up = False
+
+    def recover(self) -> None:
+        """Bring the channel back up."""
+        self._up = True
+
+    def connects(self, endpoint: str) -> bool:
+        """Whether ``endpoint`` is one of the two ends of this channel."""
+        return endpoint in (self.endpoint_a, self.endpoint_b)
+
+    def deliver(self, message: ControlMessage, *, size_bytes: int = 128) -> bool:
+        """Attempt to deliver ``message``; returns ``True`` on success.
+
+        Down channels silently drop the message (and count the drop), which
+        is what the failure-detection wheel observes as packet loss.
+        """
+        if not self.connects(message.source) or not self.connects(message.destination):
+            raise ChannelError(
+                f"message {message.source}->{message.destination} does not belong on "
+                f"channel {self.endpoint_a}<->{self.endpoint_b}"
+            )
+        if not self._up:
+            self.stats.dropped += 1
+            return False
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += size_bytes
+        if self._keep_log:
+            self._log.append(message)
+        return True
+
+    def log(self) -> List[ControlMessage]:
+        """Delivered messages (only recorded when ``keep_log`` was requested)."""
+        return list(self._log)
+
+
+class ChannelRegistry:
+    """All channels of a deployment, indexed by (type, endpoint pair)."""
+
+    def __init__(self, *, keep_logs: bool = False) -> None:
+        self._channels: Dict[tuple[ChannelType, str, str], ControlChannel] = {}
+        self._keep_logs = keep_logs
+
+    @staticmethod
+    def _key(channel_type: ChannelType, a: str, b: str) -> tuple[ChannelType, str, str]:
+        first, second = sorted((a, b))
+        return (channel_type, first, second)
+
+    def get_or_create(self, channel_type: ChannelType, a: str, b: str) -> ControlChannel:
+        """Return the channel between ``a`` and ``b``, creating it on first use."""
+        key = self._key(channel_type, a, b)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = ControlChannel(channel_type, key[1], key[2], keep_log=self._keep_logs)
+            self._channels[key] = channel
+        return channel
+
+    def lookup(self, channel_type: ChannelType, a: str, b: str) -> Optional[ControlChannel]:
+        """Return the channel between ``a`` and ``b`` if it exists."""
+        return self._channels.get(self._key(channel_type, a, b))
+
+    def channels(self, channel_type: ChannelType | None = None) -> List[ControlChannel]:
+        """All channels, optionally filtered by type."""
+        if channel_type is None:
+            return list(self._channels.values())
+        return [channel for channel in self._channels.values() if channel.channel_type == channel_type]
+
+    def total_stats(self, channel_type: ChannelType | None = None) -> ChannelStats:
+        """Aggregate statistics over all (or one type of) channels."""
+        aggregate = ChannelStats()
+        for channel in self.channels(channel_type):
+            aggregate.delivered += channel.stats.delivered
+            aggregate.dropped += channel.stats.dropped
+            aggregate.bytes_delivered += channel.stats.bytes_delivered
+        return aggregate

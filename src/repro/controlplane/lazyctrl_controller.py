@@ -1,0 +1,312 @@
+"""The LazyCtrl central controller.
+
+The controller of the hybrid control model (paper §III-B.2) is responsible
+for exactly three things:
+
+1. maintaining the Central Location Information Base (C-LIB) from the state
+   reports pushed by designated switches,
+2. adapting the grouping of edge switches (delegated to the
+   :class:`~repro.controlplane.grouping_manager.GroupingManager`), and
+3. managing flow tables on edge switches to handle inter-group traffic and
+   any fine-grained flows that need centralized control.
+
+Everything else — intra-group forwarding, intra-group ARP resolution, local
+host learning — happens inside the Local Control Groups, which is what keeps
+the controller "lazy".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import LazyCtrlConfig
+from repro.common.errors import ControlPlaneError
+from repro.common.packets import FlowKey, Packet
+from repro.datastructures.fib import CentralLib, FibEntry
+from repro.datastructures.flow_table import ActionType, FlowAction
+from repro.dataplane.edge_switch import LazyCtrlEdgeSwitch
+from repro.controlplane.channels import ChannelRegistry, ChannelType
+from repro.controlplane.group import LocalControlGroup
+from repro.controlplane.grouping_manager import GroupingManager
+from repro.controlplane.messages import GroupConfigMessage, GroupStateReportMessage
+from repro.controlplane.tenant_manager import TenantManager
+from repro.partitioning.sgi import Grouping
+from repro.simulation.metrics import CounterSeries, WorkloadMeter
+from repro.topology.network import DataCenterNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class InterGroupSetupResult:
+    """What the controller did with one inter-group Packet_In."""
+
+    ingress_switch_id: int
+    egress_switch_id: Optional[int]
+    resolved: bool
+    relayed_groups: int = 0
+
+
+class LazyCtrlController:
+    """The lazy central controller of the hybrid control plane."""
+
+    def __init__(
+        self,
+        network: DataCenterNetwork,
+        *,
+        config: LazyCtrlConfig | None = None,
+        dynamic_grouping: bool = True,
+        workload_bucket_seconds: float = 7200.0,
+    ) -> None:
+        self._network = network
+        self.config = config or LazyCtrlConfig()
+        self.clib = CentralLib()
+        self.tenant_manager = TenantManager(network)
+        self.grouping_manager = GroupingManager(
+            grouping_config=self.config.grouping,
+            policy=self.config.regrouping,
+            dynamic=dynamic_grouping,
+        )
+        self._switches: Dict[int, LazyCtrlEdgeSwitch] = {}
+        self._groups: Dict[int, LocalControlGroup] = {}
+        self._group_of_switch: Dict[int, int] = {}
+        self._channels = ChannelRegistry()
+        self._rng = random.Random(self.config.grouping.random_seed)
+
+        self.workload_series = CounterSeries(workload_bucket_seconds)
+        self.workload_meter = WorkloadMeter(window_seconds=60.0)
+        self.total_requests = 0
+        self.flow_mods_sent = 0
+        self.arp_relays = 0
+        self.group_config_messages = 0
+        self.regroupings_applied = 0
+
+    # -- switch registration ----------------------------------------------------
+
+    def register_switch(self, switch: LazyCtrlEdgeSwitch) -> None:
+        """Connect an edge switch to the controller via a control link."""
+        self._switches[switch.switch_id] = switch
+        self._channels.get_or_create(ChannelType.CONTROL_LINK, "controller", f"switch:{switch.switch_id}")
+        self.grouping_manager.register_switches([switch.switch_id])
+
+    def switch(self, switch_id: int) -> LazyCtrlEdgeSwitch:
+        """Return a registered switch by id."""
+        try:
+            return self._switches[switch_id]
+        except KeyError as exc:
+            raise ControlPlaneError(f"switch {switch_id} is not registered with the controller") from exc
+
+    def switches(self) -> List[LazyCtrlEdgeSwitch]:
+        """All registered switches ordered by id."""
+        return [self._switches[switch_id] for switch_id in sorted(self._switches)]
+
+    def switch_count(self) -> int:
+        """Number of registered switches."""
+        return len(self._switches)
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def bootstrap_host_locations(self) -> None:
+        """Populate L-FIBs and the C-LIB from the topology's host placement.
+
+        This models the host-discovery phase: every edge switch learns its
+        locally attached VMs and the aggregated locations reach the C-LIB via
+        the (initial) state reports.
+        """
+        for host in self._network.hosts():
+            switch = self._switches.get(host.switch_id)
+            if switch is None:
+                continue
+            switch.attach_host(host.mac, host.port, host.tenant_id)
+            self.clib.record_host(host.mac, host.switch_id, host.tenant_id)
+            self.tenant_manager.note_host_location(host.tenant_id, host.switch_id)
+
+    # -- grouping ----------------------------------------------------------------------
+
+    @property
+    def groups(self) -> Dict[int, LocalControlGroup]:
+        """The currently provisioned Local Control Groups, by group id."""
+        return dict(self._groups)
+
+    def group_of_switch(self, switch_id: int) -> Optional[int]:
+        """The group currently containing ``switch_id``."""
+        return self._group_of_switch.get(switch_id)
+
+    def group_assignment(self) -> Dict[int, int]:
+        """The full switch->group mapping."""
+        return dict(self._group_of_switch)
+
+    def apply_grouping(self, grouping: Grouping, *, now: float = 0.0) -> int:
+        """Provision Local Control Groups according to ``grouping``.
+
+        Returns the number of group-configuration messages sent.  Groups are
+        rebuilt from scratch (the paper preloads rules to avoid interruptions
+        during updates; rule preloading is modelled as part of the update cost
+        rather than as packet loss).
+        """
+        messages = 0
+        self._groups.clear()
+        self._group_of_switch.clear()
+        for group_id, member_ids in sorted(grouping.groups.items()):
+            members = [self.switch(switch_id) for switch_id in sorted(member_ids)]
+            group = LocalControlGroup(
+                group_id,
+                members,
+                backup_count=self.config.designated_backup_count,
+                rng=random.Random(self._rng.random()),
+                channels=self._channels,
+            )
+            group.synchronize_gfibs()
+            self._groups[group_id] = group
+            for member in members:
+                self._group_of_switch[member.switch_id] = group_id
+                messages += 1
+                self._send_group_config(group, member.switch_id, now)
+        self.group_config_messages += messages
+        self.regroupings_applied += 1
+        return messages
+
+    def _send_group_config(self, group: LocalControlGroup, switch_id: int, now: float) -> None:
+        neighbors = group.ring_neighbors(switch_id)
+        message = GroupConfigMessage.create(
+            group_id=group.group_id,
+            target_switch_id=switch_id,
+            member_switch_ids=tuple(group.member_ids()),
+            designated_switch_id=group.designated_switch_id,
+            backup_switch_ids=tuple(group.backup_switch_ids),
+            ring_predecessor=neighbors.predecessor,
+            ring_successor=neighbors.successor,
+            timestamp=now,
+        )
+        channel = self._channels.get_or_create(ChannelType.CONTROL_LINK, "controller", f"switch:{switch_id}")
+        channel.deliver(message, size_bytes=96 + 4 * len(group))
+
+    # -- state reports -------------------------------------------------------------------
+
+    def receive_state_report(self, report: GroupStateReportMessage) -> int:
+        """Fold a designated switch's aggregated state report into the C-LIB."""
+        changed = 0
+        for switch_id, entries in report.switch_lfibs:
+            snapshot = {
+                mac: FibEntry(mac=mac, port=port, tenant_id=tenant_id)
+                for mac, port, tenant_id in entries
+            }
+            changed += self.clib.update_from_lfib(switch_id, snapshot)
+            for mac, _port, tenant_id in entries:
+                self.tenant_manager.note_host_location(tenant_id, switch_id)
+        return changed
+
+    def collect_state_reports(self, *, now: float = 0.0) -> int:
+        """Pull a state report from every group (periodic asynchronous sync)."""
+        changed = 0
+        for group in self._groups.values():
+            report = group.build_state_report(timestamp=now)
+            channel = self._channels.get_or_create(
+                ChannelType.STATE_LINK, "controller", f"switch:{group.designated_switch_id}"
+            )
+            channel.deliver(report, size_bytes=128 + 24 * sum(len(entries) for _, entries in report.switch_lfibs))
+            changed += self.receive_state_report(report)
+        return changed
+
+    # -- inter-group control ------------------------------------------------------------------
+
+    def handle_packet_in(self, ingress_switch_id: int, packet: Packet, now: float) -> InterGroupSetupResult:
+        """Handle a Packet_In for a flow the ingress group could not resolve.
+
+        The controller locates the destination in the C-LIB and installs an
+        encapsulation rule on the ingress switch.  When even the C-LIB does
+        not know the destination (cold start), the request is relayed as an
+        ARP to the designated switches of every group hosting the tenant.
+        """
+        self._record_request(now)
+        egress = self.clib.locate(packet.dst_mac)
+        if egress is not None:
+            self._install_inter_group_rule(ingress_switch_id, packet, egress, now)
+            return InterGroupSetupResult(
+                ingress_switch_id=ingress_switch_id,
+                egress_switch_id=egress,
+                resolved=True,
+            )
+        relayed = self._relay_arp(packet, now)
+        # After the relay the owning switch answers and the location becomes
+        # known; resolve from the ground truth topology if possible.
+        try:
+            host = self._network.host_by_mac(packet.dst_mac)
+        except Exception:
+            return InterGroupSetupResult(
+                ingress_switch_id=ingress_switch_id,
+                egress_switch_id=None,
+                resolved=False,
+                relayed_groups=relayed,
+            )
+        self.clib.record_host(packet.dst_mac, host.switch_id, host.tenant_id)
+        self._install_inter_group_rule(ingress_switch_id, packet, host.switch_id, now)
+        return InterGroupSetupResult(
+            ingress_switch_id=ingress_switch_id,
+            egress_switch_id=host.switch_id,
+            resolved=True,
+            relayed_groups=relayed,
+        )
+
+    def handle_arp_escalation(self, ingress_switch_id: int, packet: Packet, now: float) -> int:
+        """Handle an ARP request escalated by a group (level iii of §III-D.3).
+
+        Returns the number of groups the request was relayed to.
+        """
+        self._record_request(now)
+        return self._relay_arp(packet, now)
+
+    def _relay_arp(self, packet: Packet, now: float) -> int:
+        groups = self.tenant_manager.groups_with_tenant(packet.tenant_id, self._group_of_switch)
+        relayed = 0
+        for group_id in sorted(groups):
+            group = self._groups.get(group_id)
+            if group is None:
+                continue
+            channel = self._channels.get_or_create(
+                ChannelType.CONTROL_LINK, "controller", f"switch:{group.designated_switch_id}"
+            )
+            relayed += 1
+        self.arp_relays += relayed
+        return relayed
+
+    def _install_inter_group_rule(self, ingress_switch_id: int, packet: Packet, egress_switch_id: int, now: float) -> None:
+        switch = self._switches.get(ingress_switch_id)
+        if switch is None:
+            return
+        key = FlowKey(src_mac=packet.src_mac, dst_mac=packet.dst_mac, tenant_id=packet.tenant_id)
+        if egress_switch_id == ingress_switch_id:
+            entry = switch.lfib.lookup(packet.dst_mac)
+            action = FlowAction(ActionType.FORWARD_LOCAL, entry.port if entry else 1)
+        else:
+            action = FlowAction(ActionType.ENCAP_TO_SWITCH, egress_switch_id)
+        switch.install_flow_rule(key, action, now=now)
+        self.flow_mods_sent += 1
+
+    # -- workload accounting --------------------------------------------------------------------
+
+    def current_load_rps(self, now: float) -> float:
+        """Controller load (requests per second) over the recent window."""
+        return self.workload_meter.rate(now)
+
+    def _record_request(self, now: float) -> None:
+        self.total_requests += 1
+        self.workload_series.record(now)
+        self.workload_meter.record(now)
+
+    # -- periodic housekeeping ---------------------------------------------------------------------
+
+    def periodic_check(self, now: float) -> bool:
+        """Run the regrouping check; apply and provision a new grouping when one is produced.
+
+        Returns ``True`` when a regrouping was applied.
+        """
+        decision = self.grouping_manager.check(now, self.current_load_rps(now))
+        if decision.regrouped and decision.grouping is not None:
+            self.apply_grouping(decision.grouping, now=now)
+            return True
+        return False
+
+    def storage_bytes_per_switch(self) -> Dict[int, int]:
+        """G-FIB storage consumed on every switch (the §V-D overhead metric)."""
+        return {switch_id: switch.storage_bytes() for switch_id, switch in self._switches.items()}

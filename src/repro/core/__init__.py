@@ -1,0 +1,31 @@
+"""Core systems and the experiment harness (the paper's primary contribution, wired up)."""
+
+from repro.core.experiment import DayLongExperiment, DayLongExperimentResult, RunResult
+from repro.core.latency_eval import ColdCacheExperiment, ColdCacheExperimentConfig
+from repro.core.results import (
+    ColdCacheResult,
+    FlowHandlingResult,
+    FlowPathKind,
+    LatencySeriesResult,
+    SystemCounters,
+    WorkloadComparison,
+    WorkloadSeriesResult,
+)
+from repro.core.system import LazyCtrlSystem, OpenFlowSystem
+
+__all__ = [
+    "ColdCacheExperiment",
+    "ColdCacheExperimentConfig",
+    "ColdCacheResult",
+    "DayLongExperiment",
+    "DayLongExperimentResult",
+    "FlowHandlingResult",
+    "FlowPathKind",
+    "LatencySeriesResult",
+    "LazyCtrlSystem",
+    "OpenFlowSystem",
+    "RunResult",
+    "SystemCounters",
+    "WorkloadComparison",
+    "WorkloadSeriesResult",
+]

@@ -1,0 +1,179 @@
+"""Experiment runner reproducing the paper's evaluation scenarios.
+
+The central experiment (Figs. 7, 8 and 9) replays a day-long trace against
+four configurations:
+
+* the OpenFlow baseline,
+* LazyCtrl with a *static* grouping computed from the first hour of traffic,
+* LazyCtrl with *dynamic* grouping (incremental updates enabled),
+* optionally the same three on an *expanded* trace with 30 % extra flows.
+
+For each configuration the runner reports the controller workload per
+2-hour bucket (in Krps), the grouping-update frequency per hour, and the
+mean forwarding latency per 2-hour bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import LazyCtrlConfig
+from repro.core.results import (
+    LatencySeriesResult,
+    SystemCounters,
+    WorkloadComparison,
+    WorkloadSeriesResult,
+)
+from repro.core.system import LazyCtrlSystem, OpenFlowSystem
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Everything measured for one (system, trace) combination."""
+
+    label: str
+    workload: WorkloadSeriesResult
+    latency: LatencySeriesResult
+    updates_per_hour: List[float]
+    counters: SystemCounters
+    total_controller_requests: int
+
+
+@dataclass(frozen=True, slots=True)
+class DayLongExperimentResult:
+    """The results of the full Fig. 7/8/9 experiment."""
+
+    runs: Dict[str, RunResult]
+
+    def workload_comparison(self, baseline_label: str, lazy_label: str) -> WorkloadComparison:
+        """Build the workload comparison between two runs."""
+        return WorkloadComparison(
+            baseline=self.runs[baseline_label].workload,
+            lazyctrl=self.runs[lazy_label].workload,
+        )
+
+    def reduction(self, baseline_label: str, lazy_label: str) -> float:
+        """Overall controller-workload reduction between two runs."""
+        return self.workload_comparison(baseline_label, lazy_label).reduction_fraction()
+
+
+class DayLongExperiment:
+    """Replays a trace through the baseline and the LazyCtrl variants."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        config: LazyCtrlConfig | None = None,
+        warmup_hours: float = 1.0,
+        duration_hours: float = 24.0,
+        bucket_hours: float = 2.0,
+        periodic_interval_seconds: float = 120.0,
+    ) -> None:
+        self.trace = trace
+        self.config = config or LazyCtrlConfig()
+        self.warmup_hours = warmup_hours
+        self.duration_hours = duration_hours
+        self.bucket_hours = bucket_hours
+        self.periodic_interval_seconds = periodic_interval_seconds
+
+    # -- single runs ----------------------------------------------------------------
+
+    def run_openflow(self, *, label: str = "OpenFlow") -> RunResult:
+        """Replay the trace against the reactive OpenFlow baseline."""
+        bucket_seconds = self.bucket_hours * 3600.0
+        system = OpenFlowSystem(
+            self.trace.network,
+            config=self.config,
+            workload_bucket_seconds=bucket_seconds,
+            latency_bucket_seconds=bucket_seconds,
+        )
+        replayer = TraceReplayer(
+            self.trace, system, periodic_interval=self.periodic_interval_seconds, periodic_callbacks=[system.periodic]
+        )
+        replayer.replay(start=0.0, end=self.duration_hours * 3600.0)
+        return self._collect(label, system.controller.workload_series, system.latency_recorder, [], system.counters, system.controller.total_requests)
+
+    def run_lazyctrl(self, *, dynamic: bool, label: Optional[str] = None) -> RunResult:
+        """Replay the trace against LazyCtrl (static or dynamic grouping)."""
+        bucket_seconds = self.bucket_hours * 3600.0
+        system = LazyCtrlSystem(
+            self.trace.network,
+            config=self.config,
+            dynamic_grouping=dynamic,
+            workload_bucket_seconds=bucket_seconds,
+            latency_bucket_seconds=bucket_seconds,
+        )
+        # The initial grouping is computed from the first warm-up hour of the
+        # trace, exactly as in the paper's setup.
+        system.install_initial_grouping(self.trace, warmup_end=self.warmup_hours * 3600.0)
+        replayer = TraceReplayer(
+            self.trace, system, periodic_interval=self.periodic_interval_seconds, periodic_callbacks=[system.periodic]
+        )
+        replayer.replay(start=0.0, end=self.duration_hours * 3600.0)
+        updates = system.controller.grouping_manager.updates_per_hour(hours=int(self.duration_hours))
+        run_label = label or ("LazyCtrl (dynamic)" if dynamic else "LazyCtrl (static)")
+        return self._collect(
+            run_label,
+            system.controller.workload_series,
+            system.latency_recorder,
+            updates,
+            system.counters,
+            system.controller.total_requests,
+        )
+
+    # -- the full experiment -----------------------------------------------------------
+
+    def run_all(self, *, include_static: bool = True, include_dynamic: bool = True) -> DayLongExperimentResult:
+        """Run the baseline and the requested LazyCtrl variants on this trace."""
+        runs: Dict[str, RunResult] = {}
+        baseline = self.run_openflow()
+        runs[baseline.label] = baseline
+        if include_static:
+            static = self.run_lazyctrl(dynamic=False)
+            runs[static.label] = static
+        if include_dynamic:
+            dynamic = self.run_lazyctrl(dynamic=True)
+            runs[dynamic.label] = dynamic
+        return DayLongExperimentResult(runs=runs)
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _collect(
+        self,
+        label: str,
+        workload_series,
+        latency_recorder,
+        updates_per_hour: List[float],
+        counters: SystemCounters,
+        total_requests: int,
+    ) -> RunResult:
+        bucket_count = max(1, int(round(self.duration_hours / self.bucket_hours)))
+        bucket_seconds = self.bucket_hours * 3600.0
+        # Requests per bucket -> requests/second -> thousands of requests per
+        # second (the paper's Krps axis).
+        krps = [
+            count / bucket_seconds / 1000.0
+            for _, count in workload_series.series(bucket_range=(0, bucket_count))
+        ]
+        latency_series = [
+            latency_recorder.bucket_mean(index) for index in range(bucket_count)
+        ]
+        workload = WorkloadSeriesResult(label=label, bucket_hours=self.bucket_hours, krps=krps)
+        latency = LatencySeriesResult(
+            label=label,
+            bucket_hours=self.bucket_hours,
+            mean_latency_ms=latency_series,
+            overall_mean_ms=latency_recorder.overall_mean(),
+        )
+        return RunResult(
+            label=label,
+            workload=workload,
+            latency=latency,
+            updates_per_hour=updates_per_hour,
+            counters=counters,
+            total_controller_requests=total_requests,
+        )

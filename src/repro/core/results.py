@@ -1,0 +1,117 @@
+"""Result records produced by the control-plane systems and experiments."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class FlowPathKind(enum.Enum):
+    """Which mechanism carried a flow's first packet."""
+
+    LOCAL = "local"
+    FLOW_TABLE = "flow_table"
+    INTRA_GROUP = "intra_group"
+    INTER_GROUP = "inter_group"
+    CONTROLLER_REACTIVE = "controller_reactive"
+    DROPPED = "dropped"
+
+
+@dataclass(frozen=True, slots=True)
+class FlowHandlingResult:
+    """How one replayed flow was handled by the system under test."""
+
+    flow_id: int
+    path: FlowPathKind
+    src_switch_id: int
+    dst_switch_id: int
+    controller_involved: bool
+    first_packet_latency_ms: float
+    steady_packet_latency_ms: float
+    duplicate_deliveries: int = 0
+    false_positive_drop: bool = False
+
+
+@dataclass(slots=True)
+class SystemCounters:
+    """Aggregate counters of one system over one replay."""
+
+    flows_handled: int = 0
+    local_flows: int = 0
+    intra_group_flows: int = 0
+    inter_group_flows: int = 0
+    controller_requests: int = 0
+    duplicate_deliveries: int = 0
+    false_positive_drops: int = 0
+
+    def controller_fraction(self) -> float:
+        """Fraction of flows whose setup required the controller."""
+        if self.flows_handled == 0:
+            return 0.0
+        return self.controller_requests / self.flows_handled
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSeriesResult:
+    """A per-bucket controller-workload series in thousands of requests/second."""
+
+    label: str
+    bucket_hours: float
+    krps: List[float]
+
+    def mean_krps(self) -> float:
+        """Mean Krps over all buckets."""
+        return sum(self.krps) / len(self.krps) if self.krps else 0.0
+
+    def peak_krps(self) -> float:
+        """Peak bucket Krps."""
+        return max(self.krps, default=0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadComparison:
+    """Headline comparison between the baseline and a LazyCtrl variant."""
+
+    baseline: WorkloadSeriesResult
+    lazyctrl: WorkloadSeriesResult
+
+    def reduction_fraction(self) -> float:
+        """Overall workload reduction (1 - lazy/baseline), in [0, 1]."""
+        baseline_total = sum(self.baseline.krps)
+        lazy_total = sum(self.lazyctrl.krps)
+        if baseline_total <= 0:
+            return 0.0
+        return max(0.0, 1.0 - lazy_total / baseline_total)
+
+    def per_bucket_reduction(self) -> List[float]:
+        """Per-bucket reduction fractions (0 where the baseline bucket is empty)."""
+        reductions = []
+        for base, lazy in zip(self.baseline.krps, self.lazyctrl.krps):
+            reductions.append(0.0 if base <= 0 else max(0.0, 1.0 - lazy / base))
+        return reductions
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySeriesResult:
+    """Per-bucket mean forwarding latency in milliseconds."""
+
+    label: str
+    bucket_hours: float
+    mean_latency_ms: List[float]
+    overall_mean_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class ColdCacheResult:
+    """The cold-cache experiment of §V-E."""
+
+    lazyctrl_intra_group_ms: float
+    lazyctrl_inter_group_ms: float
+    openflow_ms: float
+
+    def intra_group_speedup(self) -> float:
+        """How many times faster LazyCtrl intra-group setup is vs. the baseline."""
+        if self.lazyctrl_intra_group_ms <= 0:
+            return float("inf")
+        return self.openflow_ms / self.lazyctrl_intra_group_ms

@@ -1,0 +1,272 @@
+"""The two systems under test: LazyCtrl and the baseline OpenFlow control.
+
+Both classes implement the :class:`~repro.traffic.replay.FlowSink` protocol,
+so the trace replayer can drive either one.  For every replayed flow the
+system decides which mechanism handles the first packet (flow table, L-FIB,
+G-FIB, or the controller), asks the latency model what that path costs,
+accounts controller workload, and records latency samples for every packet
+of the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import LazyCtrlConfig
+from repro.common.packets import make_data_packet
+from repro.controlplane.lazyctrl_controller import LazyCtrlController
+from repro.controlplane.openflow_controller import OpenFlowController
+from repro.controlplane.state_dissemination import StateDisseminator
+from repro.dataplane.decisions import ForwardingOutcome
+from repro.dataplane.edge_switch import LazyCtrlEdgeSwitch
+from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
+from repro.core.results import FlowHandlingResult, FlowPathKind, SystemCounters
+from repro.partitioning.sgi import Grouping
+from repro.simulation.latency import LatencyModel
+from repro.simulation.metrics import LatencyRecorder
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.flow import FlowRecord
+
+
+class LazyCtrlSystem:
+    """The full LazyCtrl deployment: edge switches, LCGs and the lazy controller."""
+
+    def __init__(
+        self,
+        network: DataCenterNetwork,
+        *,
+        config: LazyCtrlConfig | None = None,
+        dynamic_grouping: bool = True,
+        workload_bucket_seconds: float = 7200.0,
+        latency_bucket_seconds: float = 7200.0,
+    ) -> None:
+        self.network = network
+        self.config = config or LazyCtrlConfig()
+        self.controller = LazyCtrlController(
+            network,
+            config=self.config,
+            dynamic_grouping=dynamic_grouping,
+            workload_bucket_seconds=workload_bucket_seconds,
+        )
+        self.latency_model = LatencyModel(self.config.latency)
+        self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
+        self.counters = SystemCounters()
+
+        for info in network.switches():
+            switch = LazyCtrlEdgeSwitch(
+                info.switch_id,
+                underlay_ip=info.underlay_ip,
+                management_mac=info.management_mac,
+                bloom_config=self.config.bloom,
+                flow_table_config=self.config.flow_table,
+            )
+            self.controller.register_switch(switch)
+        self.controller.bootstrap_host_locations()
+        self.disseminator = StateDisseminator(network, self.controller)
+
+    # -- grouping lifecycle -------------------------------------------------------
+
+    def install_initial_grouping(self, warmup_trace, *, warmup_end: float, now: float = 0.0) -> Grouping:
+        """Run IniGroup on the warm-up window of a trace and provision the groups."""
+        matrix = warmup_trace.switch_intensity(start=0.0, end=warmup_end)
+        grouping = self.controller.grouping_manager.initial_grouping(matrix, now=now)
+        self.controller.apply_grouping(grouping, now=now)
+        return grouping
+
+    def install_grouping(self, grouping: Grouping, *, now: float = 0.0) -> None:
+        """Provision an externally computed grouping (used by ablation benches)."""
+        self.controller.grouping_manager.current_grouping = grouping
+        self.controller.apply_grouping(grouping, now=now)
+
+    # -- FlowSink protocol ----------------------------------------------------------
+
+    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> FlowHandlingResult:
+        """Handle one replayed flow: first-packet path decision + accounting."""
+        src_host = self.network.host(flow.src_host_id)
+        dst_host = self.network.host(flow.dst_host_id)
+        src_switch = self.controller.switch(src_host.switch_id)
+        packet = make_data_packet(
+            src_host.mac,
+            dst_host.mac,
+            src_host.tenant_id,
+            created_at=now,
+            flow_id=flow.flow_id,
+        )
+
+        self.controller.grouping_manager.observe_flow(src_host.switch_id, dst_host.switch_id)
+        decision = src_switch.process_packet(packet, now)
+
+        duplicates = decision.duplicate_count
+        false_positive_drop = False
+        controller_involved = False
+
+        if decision.outcome == ForwardingOutcome.LOCAL_DELIVERY:
+            path = FlowPathKind.LOCAL
+            first = self.latency_model.local_delivery().total_ms
+            steady = first
+            self.counters.local_flows += 1
+        elif decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT:
+            path = FlowPathKind.FLOW_TABLE
+            first = self.latency_model.flow_table_hit_delivery().total_ms
+            steady = first
+        elif decision.outcome == ForwardingOutcome.INTRA_GROUP_FORWARD:
+            path = FlowPathKind.INTRA_GROUP
+            first = self.latency_model.intra_group_delivery(duplicate_targets=len(decision.target_switches)).total_ms
+            steady = self.latency_model.intra_group_delivery().total_ms
+            self.counters.intra_group_flows += 1
+            false_positive_drop = self._deliver_intra_group_copies(decision, dst_host.switch_id, now)
+        else:
+            # The group could not resolve the destination: inter-group flow.
+            path = FlowPathKind.INTER_GROUP
+            controller_involved = True
+            load = self.controller.current_load_rps(now)
+            result = self.controller.handle_packet_in(src_host.switch_id, packet, now)
+            first = self.latency_model.inter_group_setup(load).total_ms
+            steady = self.latency_model.flow_table_hit_delivery().total_ms
+            self.counters.inter_group_flows += 1
+            self.counters.controller_requests += 1
+            if result.egress_switch_id is None:
+                path = FlowPathKind.DROPPED
+
+        self.counters.flows_handled += 1
+        self.counters.duplicate_deliveries += duplicates
+        if false_positive_drop:
+            self.counters.false_positive_drops += 1
+
+        self.latency_recorder.record(now, first)
+        if flow.packet_count > 1:
+            self.latency_recorder.record(now, steady, count=flow.packet_count - 1)
+
+        return FlowHandlingResult(
+            flow_id=flow.flow_id,
+            path=path,
+            src_switch_id=src_host.switch_id,
+            dst_switch_id=dst_host.switch_id,
+            controller_involved=controller_involved,
+            first_packet_latency_ms=first,
+            steady_packet_latency_ms=steady,
+            duplicate_deliveries=duplicates,
+            false_positive_drop=false_positive_drop,
+        )
+
+    def _deliver_intra_group_copies(self, decision, true_destination_switch: int, now: float) -> bool:
+        """Deliver the encapsulated copies of an intra-group packet.
+
+        Copies sent to false-positive switches are dropped there after an
+        L-FIB miss (Fig. 5 line 28); returns whether any copy was dropped.
+        """
+        dropped_any = False
+        for target_id in decision.target_switches:
+            target = self.controller.switch(target_id)
+            header = self.controller.switch(decision.switch_id).make_encap_header(
+                target_id, self.network.switch(target_id).underlay_ip
+            )
+            copy = decision.packet.encapsulate(header)
+            outcome = target.process_packet(copy, now)
+            if outcome.outcome == ForwardingOutcome.DROPPED_FALSE_POSITIVE:
+                dropped_any = True
+        return dropped_any
+
+    # -- periodic housekeeping ---------------------------------------------------------
+
+    def periodic(self, now: float) -> None:
+        """Periodic housekeeping: state reports and the regrouping check."""
+        self.controller.collect_state_reports(now=now)
+        self.controller.periodic_check(now)
+
+
+class OpenFlowSystem:
+    """The baseline: every flow set up reactively by the central controller."""
+
+    def __init__(
+        self,
+        network: DataCenterNetwork,
+        *,
+        config: LazyCtrlConfig | None = None,
+        workload_bucket_seconds: float = 7200.0,
+        latency_bucket_seconds: float = 7200.0,
+    ) -> None:
+        self.network = network
+        self.config = config or LazyCtrlConfig()
+        self.controller = OpenFlowController(workload_bucket_seconds=workload_bucket_seconds)
+        self.latency_model = LatencyModel(self.config.latency)
+        self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
+        self.counters = SystemCounters()
+
+        self._switches: Dict[int, OpenFlowEdgeSwitch] = {}
+        for info in network.switches():
+            switch = OpenFlowEdgeSwitch(
+                info.switch_id,
+                underlay_ip=info.underlay_ip,
+                management_mac=info.management_mac,
+                flow_table_config=self.config.flow_table,
+            )
+            self._switches[info.switch_id] = switch
+            self.controller.register_switch(switch)
+        for host in network.hosts():
+            self._switches[host.switch_id].attach_host(host.mac, host.port, host.tenant_id)
+
+    def switch(self, switch_id: int) -> OpenFlowEdgeSwitch:
+        """Return one of the baseline edge switches."""
+        return self._switches[switch_id]
+
+    # -- FlowSink protocol ------------------------------------------------------------
+
+    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> FlowHandlingResult:
+        """Handle one replayed flow under reactive centralized control."""
+        src_host = self.network.host(flow.src_host_id)
+        dst_host = self.network.host(flow.dst_host_id)
+        src_switch = self._switches[src_host.switch_id]
+        packet = make_data_packet(
+            src_host.mac,
+            dst_host.mac,
+            src_host.tenant_id,
+            created_at=now,
+            flow_id=flow.flow_id,
+        )
+        decision = src_switch.process_packet(packet, now)
+
+        controller_involved = False
+        if decision.outcome == ForwardingOutcome.LOCAL_DELIVERY:
+            path = FlowPathKind.LOCAL
+            first = self.latency_model.local_delivery().total_ms
+            steady = first
+            self.counters.local_flows += 1
+        elif decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT:
+            path = FlowPathKind.FLOW_TABLE
+            first = self.latency_model.flow_table_hit_delivery().total_ms
+            steady = first
+        else:
+            # Every table miss goes to the controller for reactive setup.
+            path = FlowPathKind.CONTROLLER_REACTIVE
+            controller_involved = True
+            load = self.controller.current_load_rps(now)
+            result = self.controller.handle_packet_in(
+                src_host.switch_id,
+                packet,
+                now,
+                true_destination_switch=dst_host.switch_id,
+            )
+            first = self.latency_model.openflow_reactive_setup(
+                load, needs_location_learning=result.needed_location_learning
+            ).total_ms
+            steady = self.latency_model.flow_table_hit_delivery().total_ms
+            self.counters.controller_requests += 1
+
+        self.counters.flows_handled += 1
+        self.latency_recorder.record(now, first)
+        if flow.packet_count > 1:
+            self.latency_recorder.record(now, steady, count=flow.packet_count - 1)
+
+        return FlowHandlingResult(
+            flow_id=flow.flow_id,
+            path=path,
+            src_switch_id=src_host.switch_id,
+            dst_switch_id=dst_host.switch_id,
+            controller_involved=controller_involved,
+            first_packet_latency_ms=first,
+            steady_packet_latency_ms=steady,
+        )
+
+    def periodic(self, now: float) -> None:
+        """The baseline has no periodic control-plane housekeeping to run."""

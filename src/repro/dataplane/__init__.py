@@ -1,0 +1,12 @@
+"""Data plane: forwarding decisions, the LazyCtrl edge switch and the OpenFlow baseline."""
+
+from repro.dataplane.decisions import ForwardingDecision, ForwardingOutcome
+from repro.dataplane.edge_switch import LazyCtrlEdgeSwitch
+from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
+
+__all__ = [
+    "ForwardingDecision",
+    "ForwardingOutcome",
+    "LazyCtrlEdgeSwitch",
+    "OpenFlowEdgeSwitch",
+]

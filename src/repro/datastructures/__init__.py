@@ -1,0 +1,26 @@
+"""Core data structures: Bloom filters, forwarding tables and intensity matrices."""
+
+from repro.datastructures.bloom import BloomFilter
+from repro.datastructures.fib import CentralLib, FibEntry, GroupFib, LocalFib
+from repro.datastructures.flow_table import (
+    ActionType,
+    FlowAction,
+    FlowRule,
+    FlowTable,
+    FlowTableStats,
+)
+from repro.datastructures.intensity import IntensityMatrix
+
+__all__ = [
+    "ActionType",
+    "BloomFilter",
+    "CentralLib",
+    "FibEntry",
+    "FlowAction",
+    "FlowRule",
+    "FlowTable",
+    "FlowTableStats",
+    "GroupFib",
+    "IntensityMatrix",
+    "LocalFib",
+]

@@ -1,0 +1,250 @@
+"""Forwarding information bases: L-FIB, G-FIB and the controller's C-LIB.
+
+Three tables implement the table organization of paper Fig. 4:
+
+* :class:`LocalFib` (L-FIB) — MAC/ARP-style table on each edge switch mapping
+  the MAC addresses of locally attached virtual machines to local ports.
+* :class:`GroupFib` (G-FIB) — one Bloom filter per peer switch in the same
+  Local Control Group, each summarizing that peer's L-FIB.  A query returns
+  the set of candidate switches that may host the destination.
+* :class:`CentralLib` (C-LIB) — the controller's global host-location map,
+  assembled from the L-FIBs reported by designated switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.common.addresses import MacAddress
+from repro.common.config import BloomFilterConfig
+from repro.common.errors import UnknownHostError
+from repro.datastructures.bloom import BloomFilter
+
+
+@dataclass(frozen=True, slots=True)
+class FibEntry:
+    """One host entry of an L-FIB: the local port and tenant of the host."""
+
+    mac: MacAddress
+    port: int
+    tenant_id: int
+
+
+class LocalFib:
+    """The Local Forwarding Information Base of a single edge switch."""
+
+    __slots__ = ("_entries", "_version")
+
+    def __init__(self) -> None:
+        self._entries: Dict[MacAddress, FibEntry] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation; used by state sync."""
+        return self._version
+
+    def learn(self, mac: MacAddress, port: int, tenant_id: int) -> bool:
+        """Insert or refresh a host entry.
+
+        Returns ``True`` when the table changed (new host or moved port),
+        which is the condition for pushing an update over the peer link.
+        """
+        existing = self._entries.get(mac)
+        entry = FibEntry(mac=mac, port=port, tenant_id=tenant_id)
+        if existing == entry:
+            return False
+        self._entries[mac] = entry
+        self._version += 1
+        return True
+
+    def forget(self, mac: MacAddress) -> bool:
+        """Remove a host entry (VM removal/migration); returns ``True`` if present."""
+        if mac in self._entries:
+            del self._entries[mac]
+            self._version += 1
+            return True
+        return False
+
+    def lookup(self, mac: MacAddress) -> Optional[FibEntry]:
+        """Return the entry for ``mac`` or ``None`` when unknown."""
+        return self._entries.get(mac)
+
+    def __contains__(self, mac: MacAddress) -> bool:
+        return mac in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FibEntry]:
+        return iter(self._entries.values())
+
+    def macs(self) -> list[MacAddress]:
+        """Return all known host MAC addresses."""
+        return list(self._entries)
+
+    def entries_for_tenant(self, tenant_id: int) -> list[FibEntry]:
+        """Return all entries belonging to ``tenant_id``."""
+        return [entry for entry in self._entries.values() if entry.tenant_id == tenant_id]
+
+    def snapshot(self) -> Dict[MacAddress, FibEntry]:
+        """Return a copy of the table for dissemination over peer/state links."""
+        return dict(self._entries)
+
+    def replace(self, entries: Mapping[MacAddress, FibEntry]) -> None:
+        """Replace the whole table (used when restoring from a snapshot)."""
+        self._entries = dict(entries)
+        self._version += 1
+
+
+class GroupFib:
+    """The Bloom-filter-based Group Forwarding Information Base.
+
+    For each peer switch in the group the G-FIB stores one Bloom filter built
+    from the peer's L-FIB.  ``query`` returns the identifiers of all peers
+    whose filter matches — possibly more than one because of false positives,
+    exactly as the paper's forwarding routine anticipates.
+    """
+
+    __slots__ = ("_config", "_filters", "_exact")
+
+    def __init__(self, config: BloomFilterConfig | None = None, *, track_exact: bool = False) -> None:
+        self._config = config or BloomFilterConfig()
+        self._filters: Dict[int, BloomFilter] = {}
+        # Optional exact shadow sets used only by tests/analysis to measure the
+        # empirical false-positive rate; disabled in normal operation.
+        self._exact: Optional[Dict[int, set[MacAddress]]] = {} if track_exact else None
+
+    @property
+    def config(self) -> BloomFilterConfig:
+        """The Bloom-filter sizing in force for this G-FIB."""
+        return self._config
+
+    def peer_count(self) -> int:
+        """Number of peer switches currently summarized."""
+        return len(self._filters)
+
+    def peers(self) -> list[int]:
+        """Identifiers of the summarized peer switches."""
+        return list(self._filters)
+
+    def install_peer(self, switch_id: int, macs: Iterable[MacAddress]) -> None:
+        """Install or replace the filter for peer ``switch_id`` from its L-FIB."""
+        bloom = BloomFilter.from_config(self._config)
+        mac_list = list(macs)
+        bloom.add_all(mac.to_bytes() for mac in mac_list)
+        self._filters[switch_id] = bloom
+        if self._exact is not None:
+            self._exact[switch_id] = set(mac_list)
+
+    def remove_peer(self, switch_id: int) -> None:
+        """Drop the filter for a peer that left the group."""
+        self._filters.pop(switch_id, None)
+        if self._exact is not None:
+            self._exact.pop(switch_id, None)
+
+    def clear(self) -> None:
+        """Remove every peer filter (switch left its group)."""
+        self._filters.clear()
+        if self._exact is not None:
+            self._exact.clear()
+
+    def query(self, mac: MacAddress) -> list[int]:
+        """Return peer switch ids whose Bloom filter matches ``mac``."""
+        needle = mac.to_bytes()
+        return [switch_id for switch_id, bloom in self._filters.items() if needle in bloom]
+
+    def query_exact(self, mac: MacAddress) -> list[int]:
+        """Ground-truth query against the shadow sets (analysis only)."""
+        if self._exact is None:
+            raise UnknownHostError("exact tracking is disabled for this G-FIB")
+        return [switch_id for switch_id, macs in self._exact.items() if mac in macs]
+
+    def storage_bytes(self) -> int:
+        """Total storage consumed by all peer filters, in bytes."""
+        return sum(bloom.size_bytes for bloom in self._filters.values())
+
+    def false_positive_estimate(self) -> float:
+        """Mean estimated false-positive rate across the peer filters."""
+        if not self._filters:
+            return 0.0
+        return sum(bloom.estimated_false_positive_rate() for bloom in self._filters.values()) / len(self._filters)
+
+
+class CentralLib:
+    """The controller's Central Location Information Base (C-LIB).
+
+    Maps every known host MAC to the edge switch currently hosting it, plus
+    the tenant it belongs to.  Assembled from the L-FIB snapshots pushed by
+    designated switches over state links.
+    """
+
+    __slots__ = ("_locations", "_tenants", "_version")
+
+    def __init__(self) -> None:
+        self._locations: Dict[MacAddress, int] = {}
+        self._tenants: Dict[MacAddress, int] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation."""
+        return self._version
+
+    def update_from_lfib(self, switch_id: int, snapshot: Mapping[MacAddress, FibEntry]) -> int:
+        """Merge one switch's L-FIB snapshot; returns the number of changed hosts."""
+        changed = 0
+        for mac, entry in snapshot.items():
+            if self._locations.get(mac) != switch_id or self._tenants.get(mac) != entry.tenant_id:
+                self._locations[mac] = switch_id
+                self._tenants[mac] = entry.tenant_id
+                changed += 1
+        if changed:
+            self._version += 1
+        return changed
+
+    def record_host(self, mac: MacAddress, switch_id: int, tenant_id: int) -> None:
+        """Record a single host location (used during bootstrap)."""
+        self._locations[mac] = switch_id
+        self._tenants[mac] = tenant_id
+        self._version += 1
+
+    def remove_host(self, mac: MacAddress) -> bool:
+        """Forget a host; returns ``True`` if it was known."""
+        if mac in self._locations:
+            del self._locations[mac]
+            self._tenants.pop(mac, None)
+            self._version += 1
+            return True
+        return False
+
+    def locate(self, mac: MacAddress) -> Optional[int]:
+        """Return the switch hosting ``mac`` or ``None`` if unknown."""
+        return self._locations.get(mac)
+
+    def tenant_of(self, mac: MacAddress) -> Optional[int]:
+        """Return the tenant id of ``mac`` or ``None`` if unknown."""
+        return self._tenants.get(mac)
+
+    def hosts_on_switch(self, switch_id: int) -> list[MacAddress]:
+        """Return all hosts currently located on ``switch_id``."""
+        return [mac for mac, location in self._locations.items() if location == switch_id]
+
+    def switches_with_tenant(self, tenant_id: int) -> set[int]:
+        """Return the switches that host at least one VM of ``tenant_id``.
+
+        The controller uses this to decide which designated switches must
+        relay a cross-group ARP request (paper §III-D.3, level iii).
+        """
+        return {
+            self._locations[mac]
+            for mac, tenant in self._tenants.items()
+            if tenant == tenant_id and mac in self._locations
+        }
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, mac: MacAddress) -> bool:
+        return mac in self._locations

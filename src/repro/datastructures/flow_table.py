@@ -1,0 +1,173 @@
+"""OpenFlow-like flow table with priorities, idle timeouts and match/action rules.
+
+Both the baseline OpenFlow switch and the LazyCtrl edge switch consult a flow
+table first (Fig. 5, lines 2-5).  In LazyCtrl the controller installs rules
+only for inter-group flows and "other specified" fine-grained flows; in the
+baseline it installs a rule for every flow.  The table models the features
+relevant to the evaluation: exact-match on the flow key, rule priorities,
+idle-timeout eviction, a finite capacity and hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.common.config import FlowTableConfig
+from repro.common.errors import FlowTableError
+from repro.common.packets import FlowKey
+
+
+class ActionType(enum.Enum):
+    """The action attached to a flow rule."""
+
+    FORWARD_LOCAL = "forward_local"
+    ENCAP_TO_SWITCH = "encap_to_switch"
+    SEND_TO_CONTROLLER = "send_to_controller"
+    DROP = "drop"
+
+
+@dataclass(frozen=True, slots=True)
+class FlowAction:
+    """Action of a flow rule: what to do and, when relevant, the target.
+
+    ``target`` is a local port for ``FORWARD_LOCAL`` and an edge-switch
+    identifier for ``ENCAP_TO_SWITCH`` (the GRE-like ``Encap`` action from the
+    paper's Floodlight extension).
+    """
+
+    kind: ActionType
+    target: Optional[int] = None
+
+
+@dataclass(slots=True)
+class FlowRule:
+    """A single installed rule with statistics."""
+
+    key: FlowKey
+    action: FlowAction
+    priority: int = 0
+    installed_at: float = 0.0
+    last_matched_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+
+@dataclass(slots=True)
+class FlowTableStats:
+    """Aggregate statistics of a flow table."""
+
+    hits: int = 0
+    misses: int = 0
+    installs: int = 0
+    evictions: int = 0
+    timeouts: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that matched an installed rule."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FlowTable:
+    """Exact-match flow table with priority tie-breaking and idle timeouts."""
+
+    __slots__ = ("_config", "_rules", "stats")
+
+    def __init__(self, config: FlowTableConfig | None = None) -> None:
+        self._config = config or FlowTableConfig()
+        self._rules: Dict[FlowKey, FlowRule] = {}
+        self.stats = FlowTableStats()
+
+    @property
+    def config(self) -> FlowTableConfig:
+        """The capacity/timeout configuration of this table."""
+        return self._config
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously installed rules."""
+        return self._config.capacity
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._rules
+
+    def __iter__(self) -> Iterator[FlowRule]:
+        return iter(self._rules.values())
+
+    def install(self, key: FlowKey, action: FlowAction, *, priority: int = 0, now: float = 0.0) -> FlowRule:
+        """Install (or overwrite) a rule for ``key``.
+
+        When the table is full the least-recently matched rules are evicted in
+        batches, mimicking the behaviour of a TCAM manager that reclaims
+        space for fresh flows.
+        """
+        if key not in self._rules and len(self._rules) >= self._config.capacity:
+            self._evict_lru(now)
+        existing = self._rules.get(key)
+        if existing is not None and existing.priority > priority:
+            raise FlowTableError(
+                f"cannot overwrite rule for {key} with lower priority "
+                f"({priority} < {existing.priority})"
+            )
+        rule = FlowRule(key=key, action=action, priority=priority, installed_at=now, last_matched_at=now)
+        self._rules[key] = rule
+        self.stats.installs += 1
+        return rule
+
+    def remove(self, key: FlowKey) -> bool:
+        """Remove the rule for ``key``; returns ``True`` if one existed."""
+        return self._rules.pop(key, None) is not None
+
+    def lookup(self, key: FlowKey, *, now: float = 0.0, size_bytes: int = 0) -> Optional[FlowRule]:
+        """Match ``key`` against the table, updating statistics and counters.
+
+        Expired rules (idle for longer than the configured timeout) are
+        treated as misses and removed lazily.
+        """
+        rule = self._rules.get(key)
+        if rule is not None and now - rule.last_matched_at > self._config.idle_timeout_seconds:
+            del self._rules[key]
+            self.stats.timeouts += 1
+            rule = None
+        if rule is None:
+            self.stats.misses += 1
+            return None
+        rule.last_matched_at = now
+        rule.packet_count += 1
+        rule.byte_count += size_bytes
+        self.stats.hits += 1
+        return rule
+
+    def expire_idle(self, now: float) -> int:
+        """Eagerly remove all rules idle longer than the timeout; returns count."""
+        expired = [
+            key
+            for key, rule in self._rules.items()
+            if now - rule.last_matched_at > self._config.idle_timeout_seconds
+        ]
+        for key in expired:
+            del self._rules[key]
+        self.stats.timeouts += len(expired)
+        return len(expired)
+
+    def clear(self) -> None:
+        """Remove every rule (switch reset)."""
+        self._rules.clear()
+
+    def _evict_lru(self, now: float) -> None:
+        """Evict the least-recently matched rules to make room for new ones."""
+        victims = sorted(self._rules.values(), key=lambda rule: rule.last_matched_at)
+        batch = victims[: self._config.eviction_batch]
+        for rule in batch:
+            del self._rules[rule.key]
+        self.stats.evictions += len(batch)
+
+    def rules_with_action(self, kind: ActionType) -> list[FlowRule]:
+        """Return all rules whose action is of the given kind."""
+        return [rule for rule in self._rules.values() if rule.action.kind == kind]

@@ -1,0 +1,23 @@
+"""Failure detection (Table I) and failover/recovery actions."""
+
+from repro.failover.detection import (
+    DetectionResult,
+    FailureDetector,
+    FailureKind,
+    ProbeKind,
+    ProbeObservation,
+    infer_failure,
+)
+from repro.failover.recovery import FailoverManager, RecoveryAction, RecoveryRecord
+
+__all__ = [
+    "DetectionResult",
+    "FailoverManager",
+    "FailureDetector",
+    "FailureKind",
+    "ProbeKind",
+    "ProbeObservation",
+    "RecoveryAction",
+    "RecoveryRecord",
+    "infer_failure",
+]

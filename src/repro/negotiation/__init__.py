@@ -1,0 +1,15 @@
+"""Dynamic group-size negotiation (modified Rubinstein bargaining, Appendix C)."""
+
+from repro.negotiation.bargaining import (
+    BargainingConfig,
+    GroupSizeBargainer,
+    NegotiationOutcome,
+    Offer,
+)
+
+__all__ = [
+    "BargainingConfig",
+    "GroupSizeBargainer",
+    "NegotiationOutcome",
+    "Offer",
+]

@@ -1,0 +1,197 @@
+"""Dynamic group-size negotiation (paper Appendix C).
+
+The paper proposes, as an alternative to an empirically fixed group-size
+limit, a *game-based* negotiation (a modified Rubinstein bargaining model)
+between the controller and the switches:
+
+* the **controller** prefers *larger* groups, because fewer/bigger groups
+  mean less inter-group traffic and therefore less controller workload;
+* the **switches** prefer *smaller* groups, because a larger group means
+  more G-FIB Bloom filters, more state to disseminate, and more intra-group
+  control work on the switch side.
+
+The two sides alternate offers for the group-size limit.  Each side's
+utility is a normalized score in ``[0, 1]`` of how close the offer is to its
+ideal value, and each round of delay discounts future utility by that side's
+*patience* (discount factor) — the standard Rubinstein setup.  A side accepts
+as soon as the utility of the offer on the table is at least the discounted
+utility it could expect from continuing, which in the classical model leads
+to (near-)immediate agreement at a split determined by the two discount
+factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import NegotiationError
+
+
+@dataclass(frozen=True, slots=True)
+class BargainingConfig:
+    """Parameters of one negotiation session."""
+
+    minimum_group_size: int = 8
+    maximum_group_size: int = 512
+    controller_discount: float = 0.9
+    switch_discount: float = 0.8
+    max_rounds: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.minimum_group_size <= self.maximum_group_size:
+            raise NegotiationError("group size bounds must satisfy 1 <= min <= max")
+        for name in ("controller_discount", "switch_discount"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise NegotiationError(f"{name} must lie strictly between 0 and 1")
+        if self.max_rounds < 1:
+            raise NegotiationError("max_rounds must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class Offer:
+    """One offer in the alternating-offers game."""
+
+    round_index: int
+    proposer: str
+    group_size_limit: int
+    controller_utility: float
+    switch_utility: float
+    accepted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NegotiationOutcome:
+    """The agreed group-size limit and the full offer history."""
+
+    agreed_group_size: int
+    rounds: int
+    offers: List[Offer]
+
+
+class GroupSizeBargainer:
+    """Modified Rubinstein bargaining over the group-size limit."""
+
+    def __init__(self, config: BargainingConfig | None = None) -> None:
+        self._config = config or BargainingConfig()
+
+    @property
+    def config(self) -> BargainingConfig:
+        """The negotiation parameters in force."""
+        return self._config
+
+    # -- utilities ------------------------------------------------------------
+
+    def controller_utility(self, group_size: int) -> float:
+        """Controller utility: grows with the group size (normalized to [0, 1])."""
+        cfg = self._config
+        self._check_bounds(group_size)
+        span = max(1, cfg.maximum_group_size - cfg.minimum_group_size)
+        return (group_size - cfg.minimum_group_size) / span
+
+    def switch_utility(self, group_size: int, *, memory_capacity_entries: int | None = None) -> float:
+        """Switch utility: falls with the group size (normalized to [0, 1]).
+
+        ``memory_capacity_entries`` optionally caps the acceptable size: a
+        group larger than what the switch's TCAM/SRAM can summarize yields
+        zero utility, which models the real-time self-evaluated data the
+        paper lets switches bargain with.
+        """
+        cfg = self._config
+        self._check_bounds(group_size)
+        if memory_capacity_entries is not None and group_size > memory_capacity_entries:
+            return 0.0
+        span = max(1, cfg.maximum_group_size - cfg.minimum_group_size)
+        return (cfg.maximum_group_size - group_size) / span
+
+    def _check_bounds(self, group_size: int) -> None:
+        cfg = self._config
+        if not cfg.minimum_group_size <= group_size <= cfg.maximum_group_size:
+            raise NegotiationError(
+                f"group size {group_size} outside [{cfg.minimum_group_size}, {cfg.maximum_group_size}]"
+            )
+
+    # -- the alternating-offers game ------------------------------------------------
+
+    def negotiate(self, *, switch_memory_capacity_entries: int | None = None) -> NegotiationOutcome:
+        """Run the alternating-offers game until an offer is accepted.
+
+        The controller proposes first.  Each proposer offers the size that
+        maximizes its own utility subject to giving the responder at least
+        the utility the responder could expect by delaying one round (its
+        discounted best case).  This is the textbook sub-game-perfect
+        strategy, adapted to the discrete size grid.
+        """
+        cfg = self._config
+        offers: List[Offer] = []
+        sizes = list(range(cfg.minimum_group_size, cfg.maximum_group_size + 1))
+
+        # Effective upper bound when switches report a hard memory cap.
+        if switch_memory_capacity_entries is not None:
+            sizes = [size for size in sizes if size <= switch_memory_capacity_entries]
+            if not sizes:
+                raise NegotiationError("switch memory capacity admits no feasible group size")
+
+        controller_turn = True
+        responder_best_controller = 1.0  # best utility the controller could ever get
+        responder_best_switch = 1.0      # best utility the switches could ever get
+        agreed: int | None = None
+
+        for round_index in range(cfg.max_rounds):
+            if controller_turn:
+                # Switches would get at most `responder_best_switch`, discounted
+                # one round, by rejecting; offer the largest size that still
+                # clears that bar.
+                threshold = responder_best_switch * cfg.switch_discount
+                acceptable = [
+                    size
+                    for size in sizes
+                    if self.switch_utility(size, memory_capacity_entries=switch_memory_capacity_entries) >= threshold
+                ]
+                proposal = max(acceptable) if acceptable else min(sizes)
+                switch_util = self.switch_utility(proposal, memory_capacity_entries=switch_memory_capacity_entries)
+                accepted = switch_util >= threshold - 1e-12
+                offers.append(
+                    Offer(
+                        round_index=round_index,
+                        proposer="controller",
+                        group_size_limit=proposal,
+                        controller_utility=self.controller_utility(proposal),
+                        switch_utility=switch_util,
+                        accepted=accepted,
+                    )
+                )
+                if accepted:
+                    agreed = proposal
+                    break
+                responder_best_controller *= cfg.controller_discount
+            else:
+                threshold = responder_best_controller * cfg.controller_discount
+                acceptable = [size for size in sizes if self.controller_utility(size) >= threshold]
+                proposal = min(acceptable) if acceptable else max(sizes)
+                controller_util = self.controller_utility(proposal)
+                accepted = controller_util >= threshold - 1e-12
+                offers.append(
+                    Offer(
+                        round_index=round_index,
+                        proposer="switches",
+                        group_size_limit=proposal,
+                        controller_utility=controller_util,
+                        switch_utility=self.switch_utility(
+                            proposal, memory_capacity_entries=switch_memory_capacity_entries
+                        ),
+                        accepted=accepted,
+                    )
+                )
+                if accepted:
+                    agreed = proposal
+                    break
+                responder_best_switch *= cfg.switch_discount
+            controller_turn = not controller_turn
+
+        if agreed is None:
+            # The game always converges in the classical model; the cap is a
+            # safety net for extreme discount values.
+            agreed = offers[-1].group_size_limit if offers else cfg.minimum_group_size
+        return NegotiationOutcome(agreed_group_size=agreed, rounds=len(offers), offers=offers)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate: clock, events, engine, latency and metrics."""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.latency import LatencyBreakdown, LatencyModel
+from repro.simulation.metrics import (
+    CounterSeries,
+    LatencyRecorder,
+    SummaryStatistics,
+    WorkloadMeter,
+)
+
+__all__ = [
+    "CounterSeries",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "LatencyRecorder",
+    "SimulationClock",
+    "SimulationEngine",
+    "SummaryStatistics",
+    "WorkloadMeter",
+]

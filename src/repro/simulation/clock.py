@@ -1,0 +1,52 @@
+"""Simulation clock.
+
+All components of the emulated data center share one clock owned by the
+event engine.  Time is measured in seconds as a float; the trace replayer
+advances it according to flow timestamps while the latency model adds
+sub-millisecond increments for individual packet-processing steps.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EventOrderError
+
+
+class SimulationClock:
+    """Monotonic simulation time source."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise EventOrderError("simulation time cannot start negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`EventOrderError` when asked to move backwards, which
+        would indicate a mis-ordered event queue.
+        """
+        if timestamp < self._now - 1e-12:
+            raise EventOrderError(
+                f"cannot move clock backwards from {self._now:.6f} to {timestamp:.6f}"
+            )
+        self._now = max(self._now, float(timestamp))
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise EventOrderError(f"cannot advance the clock by a negative delta: {delta}")
+        self._now += delta
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between experiment repetitions)."""
+        if start < 0:
+            raise EventOrderError("simulation time cannot start negative")
+        self._now = float(start)

@@ -1,0 +1,148 @@
+"""Discrete-event simulation engine.
+
+A thin but fully featured engine: a clock, a priority event queue, handler
+registration per event kind, and run-until-time / run-until-empty loops.  The
+control-plane experiments drive most behaviour directly from the trace
+replayer, but periodic activities (keep-alives, state reports, regrouping
+checks, failure injection) are naturally expressed as events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventKind, EventQueue
+
+EventHandler = Callable[[Event], None]
+
+
+class SimulationEngine:
+    """Event loop coordinating the emulated data center."""
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self.queue = EventQueue()
+        self._handlers: Dict[EventKind, List[EventHandler]] = {}
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    # -- scheduling -------------------------------------------------------
+
+    def subscribe(self, kind: EventKind, handler: EventHandler) -> None:
+        """Register ``handler`` to be called for every event of ``kind``."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def schedule_at(
+        self,
+        time: float,
+        kind: EventKind,
+        *,
+        payload: Any = None,
+        callback: Optional[EventHandler] = None,
+    ) -> Event:
+        """Schedule an event at an absolute time (must not be in the past)."""
+        return self.queue.schedule(time, kind, payload=payload, callback=callback, not_before=self.clock.now)
+
+    def schedule_after(
+        self,
+        delay: float,
+        kind: EventKind,
+        *,
+        payload: Any = None,
+        callback: Optional[EventHandler] = None,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event with negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, kind, payload=payload, callback=callback)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        kind: EventKind,
+        *,
+        payload: Any = None,
+        callback: Optional[EventHandler] = None,
+        first_delay: float | None = None,
+    ) -> None:
+        """Schedule an event that re-schedules itself every ``interval`` seconds.
+
+        The periodic chain stops when the engine is reset or when the callback
+        raises ``StopIteration``.
+        """
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+
+        def fire(event: Event) -> None:
+            stop = False
+            try:
+                if callback is not None:
+                    callback(event)
+            except StopIteration:
+                stop = True
+            if not stop:
+                self.schedule_after(interval, kind, payload=payload, callback=fire)
+
+        self.schedule_after(first_delay if first_delay is not None else interval, kind, payload=payload, callback=fire)
+
+    # -- running ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event; returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._dispatch(event)
+        return True
+
+    def run_until(self, end_time: float) -> int:
+        """Dispatch every event scheduled up to ``end_time``; returns the count.
+
+        The clock is left at ``end_time`` even when the queue drains earlier,
+        so periodic measurements can use the full interval.
+        """
+        dispatched = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            dispatched += 1
+        self.clock.advance_to(end_time)
+        return dispatched
+
+    def run_to_completion(self, *, max_events: int = 1_000_000) -> int:
+        """Dispatch events until the queue is empty (bounded by ``max_events``)."""
+        dispatched = 0
+        while dispatched < max_events and self.step():
+            dispatched += 1
+        if dispatched >= max_events and self.queue:
+            raise SimulationError(f"event budget of {max_events} exhausted with events still pending")
+        return dispatched
+
+    def reset(self, *, start_time: float = 0.0) -> None:
+        """Clear the queue and rewind the clock (handlers stay registered)."""
+        self.queue.clear()
+        self.clock.reset(start_time)
+        self._processed = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        self._processed += 1
+        if event.callback is not None:
+            event.callback(event)
+        for handler in self._handlers.get(event.kind, ()):  # fan out to subscribers
+            handler(event)

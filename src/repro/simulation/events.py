@@ -1,0 +1,101 @@
+"""Event types and the priority event queue of the discrete-event engine."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import EventOrderError
+
+
+class EventKind(enum.Enum):
+    """Categories of simulation events."""
+
+    PACKET_ARRIVAL = "packet_arrival"
+    FLOW_START = "flow_start"
+    CONTROL_MESSAGE = "control_message"
+    STATE_REPORT = "state_report"
+    KEEPALIVE = "keepalive"
+    REGROUPING_CHECK = "regrouping_check"
+    FAILURE_INJECTION = "failure_injection"
+    RECOVERY = "recovery"
+    TIMER = "timer"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Events are ordered by time, then by a monotonically increasing sequence
+    number so simultaneous events fire in scheduling order (deterministic
+    replays).  ``payload`` is opaque to the engine; ``callback`` is invoked
+    with the event when it fires.
+    """
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    callback: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the queue head."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of pending events keyed by (time, sequence)."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(
+        self,
+        time: float,
+        kind: EventKind,
+        *,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+        not_before: float | None = None,
+    ) -> Event:
+        """Add an event at absolute ``time`` and return it (for cancellation)."""
+        if not_before is not None and time < not_before - 1e-12:
+            raise EventOrderError(
+                f"event scheduled at {time:.6f}, before the current time {not_before:.6f}"
+            )
+        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload, callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event (``None`` when empty)."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,155 @@
+"""Latency model for the emulated substrate.
+
+The paper's prototype measures forwarding latency on real hardware.  Our
+substitute is an analytic latency model calibrated so the *relative*
+behaviour matches §V-E: intra-group forwarding is handled entirely in the
+data plane (sub-millisecond), inter-group and reactive paths pay a
+controller round trip whose cost grows with the controller's current load,
+and the baseline additionally pays ARP-flood-driven topology learning.
+
+Every method returns a latency contribution in **milliseconds**; callers sum
+the contributions of the path a packet actually takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import LatencyModelConfig
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyBreakdown:
+    """A total latency and the named contributions it is made of."""
+
+    total_ms: float
+    components: dict[str, float]
+
+    @classmethod
+    def build(cls, **components: float) -> "LatencyBreakdown":
+        """Create a breakdown from keyword component values."""
+        return cls(total_ms=sum(components.values()), components=dict(components))
+
+
+class LatencyModel:
+    """Analytic latency model shared by both control-plane designs."""
+
+    def __init__(self, config: LatencyModelConfig | None = None) -> None:
+        self._config = config or LatencyModelConfig()
+
+    @property
+    def config(self) -> LatencyModelConfig:
+        """The calibration constants in force."""
+        return self._config
+
+    # -- data-plane-only paths -------------------------------------------
+
+    def local_delivery(self) -> LatencyBreakdown:
+        """Source and destination host on the same edge switch."""
+        cfg = self._config
+        return LatencyBreakdown.build(
+            lookup=cfg.datapath_lookup_ms,
+            host_link=cfg.host_link_ms,
+        )
+
+    def intra_group_delivery(self, duplicate_targets: int = 1) -> LatencyBreakdown:
+        """Destination resolved by the G-FIB inside the same Local Control Group.
+
+        ``duplicate_targets`` is the number of candidate switches returned by
+        the Bloom-filter query (false positives add encapsulation work at the
+        source but not to the critical path of the true copy).
+        """
+        cfg = self._config
+        extra_encap = cfg.encapsulation_ms * max(0, duplicate_targets - 1) * 0.5
+        return LatencyBreakdown.build(
+            lookup=cfg.datapath_lookup_ms,
+            gfib_query=cfg.datapath_lookup_ms,
+            encapsulation=cfg.encapsulation_ms + extra_encap,
+            underlay=cfg.underlay_hop_ms,
+            remote_lookup=cfg.datapath_lookup_ms,
+            host_link=cfg.host_link_ms,
+        )
+
+    def flow_table_hit_delivery(self) -> LatencyBreakdown:
+        """A packet matching an already-installed flow rule (both designs)."""
+        cfg = self._config
+        return LatencyBreakdown.build(
+            lookup=cfg.datapath_lookup_ms,
+            encapsulation=cfg.encapsulation_ms,
+            underlay=cfg.underlay_hop_ms,
+            remote_lookup=cfg.datapath_lookup_ms,
+            host_link=cfg.host_link_ms,
+        )
+
+    # -- controller-involved paths ---------------------------------------
+
+    def controller_processing(self, controller_load_rps: float) -> float:
+        """Controller processing time as a function of its current load.
+
+        The per-request cost grows linearly with the load expressed in
+        thousands of requests per second, reflecting queueing at a
+        single-server controller well below saturation.
+        """
+        cfg = self._config
+        load_krps = max(0.0, controller_load_rps) / 1000.0
+        return cfg.controller_base_processing_ms + cfg.controller_per_krps_penalty_ms * load_krps
+
+    def inter_group_setup(self, controller_load_rps: float) -> LatencyBreakdown:
+        """First packet of an inter-group flow under LazyCtrl.
+
+        The controller already knows host locations from the C-LIB, so the
+        setup is one Packet_In round trip plus rule installation.
+        """
+        cfg = self._config
+        return LatencyBreakdown.build(
+            lookup=2 * cfg.datapath_lookup_ms,
+            packet_in=cfg.controller_rtt_ms,
+            controller=self.controller_processing(controller_load_rps),
+            flow_mod=cfg.controller_rtt_ms / 2,
+            encapsulation=cfg.encapsulation_ms,
+            underlay=cfg.underlay_hop_ms,
+            remote_lookup=cfg.datapath_lookup_ms,
+            host_link=cfg.host_link_ms,
+        )
+
+    def openflow_reactive_setup(self, controller_load_rps: float, *, needs_location_learning: bool) -> LatencyBreakdown:
+        """First packet of a flow under the baseline reactive OpenFlow control.
+
+        When the controller has not yet learned the destination location it
+        must flood/learn via ARP across the whole network, which is the
+        dominant part of the 15 ms cold-cache latency the paper reports.
+        """
+        cfg = self._config
+        components = {
+            "lookup": cfg.datapath_lookup_ms,
+            "packet_in": cfg.controller_rtt_ms,
+            "controller": self.controller_processing(controller_load_rps),
+            "flow_mod": cfg.controller_rtt_ms / 2,
+            "underlay": cfg.underlay_hop_ms,
+            "remote_lookup": cfg.datapath_lookup_ms,
+            "host_link": cfg.host_link_ms,
+        }
+        if needs_location_learning:
+            components["arp_flood"] = cfg.arp_flood_ms
+            components["learning_round_trip"] = 2 * cfg.controller_rtt_ms
+        return LatencyBreakdown(total_ms=sum(components.values()), components=components)
+
+    def cross_group_arp_resolution(self, controller_load_rps: float, group_count: int) -> LatencyBreakdown:
+        """LazyCtrl ARP resolution that escalates to the controller (level iii)."""
+        cfg = self._config
+        return LatencyBreakdown.build(
+            local_flood=cfg.group_broadcast_ms,
+            designated_relay=cfg.group_broadcast_ms,
+            packet_in=cfg.controller_rtt_ms,
+            controller=self.controller_processing(controller_load_rps),
+            relay_to_groups=cfg.group_broadcast_ms * max(1, group_count - 1) * 0.1,
+        )
+
+    def intra_group_arp_resolution(self) -> LatencyBreakdown:
+        """ARP resolved by intra-group broadcasting via the designated switch."""
+        cfg = self._config
+        return LatencyBreakdown.build(
+            local_flood=cfg.group_broadcast_ms,
+            designated_relay=cfg.group_broadcast_ms,
+            reply=cfg.underlay_hop_ms,
+        )

@@ -1,0 +1,208 @@
+"""Metric recorders used by the evaluation harness.
+
+Three recorders cover everything the paper's figures need:
+
+* :class:`CounterSeries` — time-bucketed counters (controller requests per
+  2-hour bucket for Fig. 7, grouping updates per hour for Fig. 8).
+* :class:`LatencyRecorder` — per-bucket latency averages (Fig. 9) plus
+  overall summary statistics.
+* :class:`WorkloadMeter` — sliding-window requests-per-second estimate the
+  grouping manager consults for its overload/underload thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStatistics:
+    """Count/mean/percentile summary of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "SummaryStatistics":
+        """Compute a summary; returns an all-zero summary for an empty input."""
+        values = sorted(samples)
+        if not values:
+            return cls(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0, p99=0.0)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
+            return values[index]
+
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=values[0],
+            maximum=values[-1],
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            p99=percentile(0.99),
+        )
+
+
+class CounterSeries:
+    """Counts of events grouped into fixed-width time buckets."""
+
+    __slots__ = ("_bucket_seconds", "_buckets")
+
+    def __init__(self, bucket_seconds: float) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self._bucket_seconds = float(bucket_seconds)
+        self._buckets: Dict[int, float] = {}
+
+    @property
+    def bucket_seconds(self) -> float:
+        """Width of each bucket in seconds."""
+        return self._bucket_seconds
+
+    def record(self, timestamp: float, amount: float = 1.0) -> None:
+        """Add ``amount`` to the bucket containing ``timestamp``."""
+        index = int(timestamp // self._bucket_seconds)
+        self._buckets[index] = self._buckets.get(index, 0.0) + amount
+
+    def total(self) -> float:
+        """Sum over all buckets."""
+        return sum(self._buckets.values())
+
+    def bucket_count(self, index: int) -> float:
+        """Count in bucket ``index`` (0 when empty)."""
+        return self._buckets.get(index, 0.0)
+
+    def series(self, *, bucket_range: Tuple[int, int] | None = None) -> List[Tuple[int, float]]:
+        """Return ``(bucket_index, count)`` pairs sorted by bucket.
+
+        ``bucket_range`` fills gaps with zero counts so plots cover the whole
+        experiment duration even for quiet periods.
+        """
+        if bucket_range is None:
+            return sorted(self._buckets.items())
+        start, end = bucket_range
+        return [(index, self._buckets.get(index, 0.0)) for index in range(start, end)]
+
+    def rate_series(self, *, bucket_range: Tuple[int, int] | None = None) -> List[Tuple[int, float]]:
+        """Like :meth:`series` but values are per-second rates within the bucket."""
+        return [
+            (index, count / self._bucket_seconds)
+            for index, count in self.series(bucket_range=bucket_range)
+        ]
+
+
+class LatencyRecorder:
+    """Latency samples grouped into fixed-width time buckets."""
+
+    __slots__ = ("_bucket_seconds", "_sums", "_counts", "_all")
+
+    def __init__(self, bucket_seconds: float, *, keep_samples: bool = False) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self._bucket_seconds = float(bucket_seconds)
+        self._sums: Dict[int, float] = {}
+        self._counts: Dict[int, int] = {}
+        self._all: List[float] | None = [] if keep_samples else None
+
+    def record(self, timestamp: float, latency_ms: float, *, count: int = 1) -> None:
+        """Record ``count`` samples of value ``latency_ms`` observed at ``timestamp``.
+
+        ``count`` lets callers fold many identical per-packet samples (e.g.
+        the non-first packets of one flow) into a single call without biasing
+        the bucket means.
+        """
+        if count <= 0:
+            return
+        index = int(timestamp // self._bucket_seconds)
+        self._sums[index] = self._sums.get(index, 0.0) + latency_ms * count
+        self._counts[index] = self._counts.get(index, 0) + count
+        if self._all is not None:
+            self._all.extend([latency_ms] * min(count, 1000))
+
+    def sample_count(self) -> int:
+        """Total number of recorded samples."""
+        return sum(self._counts.values())
+
+    def overall_mean(self) -> float:
+        """Mean latency over all samples (0 when empty)."""
+        total = sum(self._counts.values())
+        return sum(self._sums.values()) / total if total else 0.0
+
+    def bucket_mean(self, index: int) -> float:
+        """Mean latency within bucket ``index`` (0 when empty)."""
+        count = self._counts.get(index, 0)
+        return self._sums.get(index, 0.0) / count if count else 0.0
+
+    def mean_series(self, *, bucket_range: Tuple[int, int] | None = None) -> List[Tuple[int, float]]:
+        """Per-bucket mean latencies (empty buckets reported as 0)."""
+        if bucket_range is None:
+            indices = sorted(self._counts)
+        else:
+            indices = list(range(*bucket_range))
+        return [(index, self.bucket_mean(index)) for index in indices]
+
+    def summary(self) -> SummaryStatistics:
+        """Summary statistics over all retained samples.
+
+        Requires ``keep_samples=True``; otherwise only count/mean are exact
+        and percentiles are reported as the mean.
+        """
+        if self._all is not None:
+            return SummaryStatistics.from_samples(self._all)
+        mean = self.overall_mean()
+        count = self.sample_count()
+        return SummaryStatistics(
+            count=count, mean=mean, minimum=mean, maximum=mean, p50=mean, p95=mean, p99=mean
+        )
+
+
+class WorkloadMeter:
+    """Sliding-window estimate of controller requests per second.
+
+    The grouping manager compares this estimate against its overload and
+    underload thresholds, and against the load measured at the previous
+    regrouping to detect the 30 % accumulated growth trigger.
+    """
+
+    __slots__ = ("_window_seconds", "_events", "_total")
+
+    def __init__(self, window_seconds: float = 60.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self._window_seconds = float(window_seconds)
+        self._events: Deque[Tuple[float, float]] = deque()
+        self._total = 0.0
+
+    @property
+    def window_seconds(self) -> float:
+        """Length of the sliding window."""
+        return self._window_seconds
+
+    def record(self, timestamp: float, amount: float = 1.0) -> None:
+        """Record ``amount`` requests handled at ``timestamp``."""
+        self._events.append((timestamp, amount))
+        self._total += amount
+        self._expire(timestamp)
+
+    def rate(self, now: float) -> float:
+        """Requests per second over the window ending at ``now``."""
+        self._expire(now)
+        if not self._events:
+            return 0.0
+        span = min(self._window_seconds, max(now - self._events[0][0], 1e-9))
+        return self._total / span
+
+    def _expire(self, now: float) -> None:
+        threshold = now - self._window_seconds
+        while self._events and self._events[0][0] < threshold:
+            _, amount = self._events.popleft()
+            self._total -= amount

@@ -1,0 +1,23 @@
+"""Topology and tenancy: hosts, tenants, edge switches and the data-center model."""
+
+from repro.topology.builder import (
+    TopologyProfile,
+    build_multi_tenant_datacenter,
+    build_paper_real_topology,
+    build_paper_synthetic_topology,
+)
+from repro.topology.host import Host
+from repro.topology.network import DataCenterNetwork, EdgeSwitchInfo
+from repro.topology.tenant import Tenant, TenantDirectory
+
+__all__ = [
+    "DataCenterNetwork",
+    "EdgeSwitchInfo",
+    "Host",
+    "Tenant",
+    "TenantDirectory",
+    "TopologyProfile",
+    "build_multi_tenant_datacenter",
+    "build_paper_real_topology",
+    "build_paper_synthetic_topology",
+]

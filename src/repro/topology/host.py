@@ -1,0 +1,36 @@
+"""Hosts (virtual machines) attached to edge switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.addresses import MacAddress
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """A virtual machine attached to an edge switch.
+
+    Attributes
+    ----------
+    host_id:
+        Dense integer identifier (index into the data center's host list).
+    mac:
+        Layer-2 address of the VM, the key used by every forwarding table.
+    tenant_id:
+        The tenant (VLAN) owning the VM.
+    switch_id:
+        The edge switch the VM is currently attached to.
+    port:
+        Local port on that switch.
+    """
+
+    host_id: int
+    mac: MacAddress
+    tenant_id: int
+    switch_id: int
+    port: int
+
+    def migrated_to(self, switch_id: int, port: int) -> "Host":
+        """Return a copy of this host after migration to another switch/port."""
+        return replace(self, switch_id=switch_id, port=port)

@@ -1,0 +1,165 @@
+"""Data-center network model with core–edge separation.
+
+The paper's architecture (§III-B.1) treats the core as an opaque IP underlay
+providing one-hop logical connectivity between edge switches, and puts all
+intelligence at the edge.  :class:`DataCenterNetwork` therefore records only
+what the control plane needs: the set of edge switches (with their underlay
+tunnel addresses and management MACs), the hosts attached to each switch, and
+the tenant directory.  VM migration updates the host-to-switch mapping, which
+is the event that drives live state dissemination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.addresses import IpAddress, MacAddress
+from repro.common.errors import TopologyError, UnknownHostError, UnknownSwitchError
+from repro.topology.host import Host
+from repro.topology.tenant import TenantDirectory
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeSwitchInfo:
+    """Static facts about one edge switch."""
+
+    switch_id: int
+    management_mac: MacAddress
+    underlay_ip: IpAddress
+    port_count: int = 48
+
+
+class DataCenterNetwork:
+    """The emulated multi-tenant data center (edge view)."""
+
+    def __init__(self) -> None:
+        self._switches: Dict[int, EdgeSwitchInfo] = {}
+        self._hosts: Dict[int, Host] = {}
+        self._hosts_by_mac: Dict[MacAddress, Host] = {}
+        self._hosts_on_switch: Dict[int, List[int]] = {}
+        self.tenants = TenantDirectory()
+
+    # -- switches ----------------------------------------------------------
+
+    def add_edge_switch(self, *, port_count: int = 48) -> EdgeSwitchInfo:
+        """Register a new edge switch and return its static description."""
+        switch_id = len(self._switches)
+        info = EdgeSwitchInfo(
+            switch_id=switch_id,
+            management_mac=MacAddress.from_switch_index(switch_id),
+            underlay_ip=IpAddress.from_switch_index(switch_id),
+            port_count=port_count,
+        )
+        self._switches[switch_id] = info
+        self._hosts_on_switch[switch_id] = []
+        return info
+
+    def switch(self, switch_id: int) -> EdgeSwitchInfo:
+        """Return the description of ``switch_id`` (raises when unknown)."""
+        try:
+            return self._switches[switch_id]
+        except KeyError as exc:
+            raise UnknownSwitchError(f"unknown edge switch {switch_id}") from exc
+
+    def switches(self) -> List[EdgeSwitchInfo]:
+        """All edge switches ordered by identifier."""
+        return [self._switches[switch_id] for switch_id in sorted(self._switches)]
+
+    def switch_ids(self) -> List[int]:
+        """All edge-switch identifiers."""
+        return sorted(self._switches)
+
+    def switch_count(self) -> int:
+        """Number of edge switches."""
+        return len(self._switches)
+
+    # -- hosts ---------------------------------------------------------------
+
+    def attach_host(self, switch_id: int, tenant_id: int) -> Host:
+        """Create a VM on ``switch_id`` for ``tenant_id`` and return it."""
+        self.switch(switch_id)
+        if tenant_id not in self.tenants:
+            raise TopologyError(f"unknown tenant {tenant_id}")
+        host_id = len(self._hosts)
+        port = len(self._hosts_on_switch[switch_id]) + 1
+        host = Host(
+            host_id=host_id,
+            mac=MacAddress.from_host_index(host_id),
+            tenant_id=tenant_id,
+            switch_id=switch_id,
+            port=port,
+        )
+        self._hosts[host_id] = host
+        self._hosts_by_mac[host.mac] = host
+        self._hosts_on_switch[switch_id].append(host_id)
+        self.tenants.assign_host(tenant_id, host_id)
+        return host
+
+    def host(self, host_id: int) -> Host:
+        """Return the host with ``host_id`` (raises when unknown)."""
+        try:
+            return self._hosts[host_id]
+        except KeyError as exc:
+            raise UnknownHostError(f"unknown host {host_id}") from exc
+
+    def host_by_mac(self, mac: MacAddress) -> Host:
+        """Return the host owning ``mac`` (raises when unknown)."""
+        try:
+            return self._hosts_by_mac[mac]
+        except KeyError as exc:
+            raise UnknownHostError(f"no host with MAC {mac}") from exc
+
+    def hosts(self) -> List[Host]:
+        """All hosts ordered by identifier."""
+        return [self._hosts[host_id] for host_id in sorted(self._hosts)]
+
+    def host_count(self) -> int:
+        """Number of hosts (virtual machines)."""
+        return len(self._hosts)
+
+    def hosts_on_switch(self, switch_id: int) -> List[Host]:
+        """The hosts currently attached to ``switch_id``."""
+        self.switch(switch_id)
+        return [self._hosts[host_id] for host_id in self._hosts_on_switch[switch_id]]
+
+    def switch_of_host(self, host_id: int) -> int:
+        """The switch currently hosting ``host_id``."""
+        return self.host(host_id).switch_id
+
+    def migrate_host(self, host_id: int, new_switch_id: int) -> Host:
+        """Move a VM to another edge switch; returns the updated host record.
+
+        Migration changes the host-to-switch mapping, which triggers live
+        state dissemination in the control plane (paper §III-D.3).
+        """
+        host = self.host(host_id)
+        self.switch(new_switch_id)
+        if host.switch_id == new_switch_id:
+            return host
+        self._hosts_on_switch[host.switch_id].remove(host_id)
+        new_port = len(self._hosts_on_switch[new_switch_id]) + 1
+        migrated = host.migrated_to(new_switch_id, new_port)
+        self._hosts[host_id] = migrated
+        self._hosts_by_mac[migrated.mac] = migrated
+        self._hosts_on_switch[new_switch_id].append(host_id)
+        return migrated
+
+    # -- derived views --------------------------------------------------------
+
+    def switch_pair_of_hosts(self, src_host_id: int, dst_host_id: int) -> tuple[int, int]:
+        """The (source switch, destination switch) pair for a host pair."""
+        return self.host(src_host_id).switch_id, self.host(dst_host_id).switch_id
+
+    def tenant_footprint(self, tenant_id: int) -> set[int]:
+        """The set of switches hosting at least one VM of ``tenant_id``."""
+        tenant = self.tenants.get(tenant_id)
+        return {self._hosts[host_id].switch_id for host_id in tenant.host_ids}
+
+    def describe(self) -> Dict[str, int]:
+        """Small summary used by reports and examples."""
+        return {
+            "switches": self.switch_count(),
+            "hosts": self.host_count(),
+            "tenants": len(self.tenants),
+        }

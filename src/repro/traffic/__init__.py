@@ -1,0 +1,30 @@
+"""Traffic traces: flow records, generators, expansion and replay."""
+
+from repro.traffic.expand import expand_trace
+from repro.traffic.flow import FlowRecord
+from repro.traffic.realistic import DIURNAL_PROFILE, RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.replay import FlowSink, ReplayProgress, TraceReplayer
+from repro.traffic.synthetic import (
+    PAPER_SYNTHETIC_SPECS,
+    SyntheticTraceGenerator,
+    SyntheticTraceSpec,
+    paper_synthetic_specs,
+)
+from repro.traffic.trace import PairActivity, Trace
+
+__all__ = [
+    "DIURNAL_PROFILE",
+    "FlowRecord",
+    "FlowSink",
+    "PAPER_SYNTHETIC_SPECS",
+    "PairActivity",
+    "RealisticTraceGenerator",
+    "RealisticTraceProfile",
+    "ReplayProgress",
+    "SyntheticTraceGenerator",
+    "SyntheticTraceSpec",
+    "Trace",
+    "TraceReplayer",
+    "expand_trace",
+    "paper_synthetic_specs",
+]

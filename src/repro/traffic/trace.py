@@ -1,0 +1,127 @@
+"""Trace container and trace-level statistics.
+
+A :class:`Trace` couples a time-sorted list of :class:`FlowRecord` with the
+:class:`~repro.topology.network.DataCenterNetwork` the hosts live in, and
+provides the derived views the rest of the library needs:
+
+* the switch-level intensity matrix over an arbitrary time window (input to
+  the grouping algorithms and the replayer),
+* pair-activity statistics (distinct communicating host pairs, share of
+  flows contributed by the busiest pairs — the paper's motivation numbers),
+* per-hour flow-arrival counts (the diurnal shape used by Fig. 7).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.errors import TrafficError
+from repro.datastructures.intensity import IntensityMatrix
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.flow import FlowRecord
+
+
+@dataclass(frozen=True, slots=True)
+class PairActivity:
+    """Summary of how concentrated the traffic is across host pairs."""
+
+    total_flows: int
+    distinct_pairs: int
+    top_decile_share: float
+
+
+class Trace:
+    """A named, time-sorted collection of flow records bound to a topology."""
+
+    def __init__(self, name: str, network: DataCenterNetwork, flows: Iterable[FlowRecord]) -> None:
+        self.name = name
+        self.network = network
+        self._flows: List[FlowRecord] = sorted(flows)
+        self._start_times: List[float] = [flow.start_time for flow in self._flows]
+        for flow in self._flows:
+            # Fail fast on flows referencing hosts outside the topology.
+            network.host(flow.src_host_id)
+            network.host(flow.dst_host_id)
+
+    # -- basic accessors ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._flows)
+
+    @property
+    def flows(self) -> Sequence[FlowRecord]:
+        """The time-sorted flow records."""
+        return self._flows
+
+    @property
+    def duration(self) -> float:
+        """Time of the last flow arrival (0 for an empty trace)."""
+        return self._flows[-1].start_time if self._flows else 0.0
+
+    def flow_count(self) -> int:
+        """Number of flow arrivals in the trace."""
+        return len(self._flows)
+
+    def window(self, start: float, end: float) -> List[FlowRecord]:
+        """Flows whose arrival time falls in ``[start, end)``."""
+        if end < start:
+            raise TrafficError(f"invalid window [{start}, {end})")
+        lo = bisect.bisect_left(self._start_times, start)
+        hi = bisect.bisect_left(self._start_times, end)
+        return self._flows[lo:hi]
+
+    # -- derived statistics ---------------------------------------------------
+
+    def pair_activity(self) -> PairActivity:
+        """Distinct communicating pairs and the share of the busiest 10 % of pairs."""
+        counts = Counter(flow.unordered_pair for flow in self._flows)
+        if not counts:
+            return PairActivity(total_flows=0, distinct_pairs=0, top_decile_share=0.0)
+        total = sum(counts.values())
+        ranked = sorted(counts.values(), reverse=True)
+        top_count = max(1, len(ranked) // 10)
+        top_share = sum(ranked[:top_count]) / total
+        return PairActivity(total_flows=total, distinct_pairs=len(counts), top_decile_share=top_share)
+
+    def switch_intensity(self, *, start: float = 0.0, end: Optional[float] = None) -> IntensityMatrix:
+        """Build the switch-level intensity matrix for a time window.
+
+        Every flow contributes one unit of intensity between the switches of
+        its two endpoints; same-switch flows only register the switch.  The
+        matrix is what SGI partitions and what Fig. 6 is computed from.
+        """
+        matrix = IntensityMatrix(self.network.switch_ids())
+        window_end = end if end is not None else self.duration + 1.0
+        for flow in self.window(start, window_end):
+            src_switch, dst_switch = self.network.switch_pair_of_hosts(flow.src_host_id, flow.dst_host_id)
+            matrix.record(src_switch, dst_switch, 1.0)
+        return matrix
+
+    def hourly_flow_counts(self, *, hours: int = 24) -> List[int]:
+        """Flow arrivals per hour over the first ``hours`` hours."""
+        counts = [0] * hours
+        for flow in self._flows:
+            hour = int(flow.start_time // 3600)
+            if 0 <= hour < hours:
+                counts[hour] += 1
+        return counts
+
+    def communicating_pairs(self) -> set[tuple[int, int]]:
+        """The set of unordered host pairs that exchanged at least one flow."""
+        return {flow.unordered_pair for flow in self._flows}
+
+    def subtrace(self, *, start: float, end: float, name: Optional[str] = None) -> "Trace":
+        """A new trace restricted to flows arriving in ``[start, end)``."""
+        return Trace(name or f"{self.name}[{start:.0f},{end:.0f})", self.network, self.window(start, end))
+
+    def merged_with(self, other: "Trace", *, name: Optional[str] = None) -> "Trace":
+        """Merge two traces defined over the same topology."""
+        if other.network is not self.network:
+            raise TrafficError("cannot merge traces defined over different topologies")
+        return Trace(name or f"{self.name}+{other.name}", self.network, list(self._flows) + list(other.flows))

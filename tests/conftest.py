@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build deliberately small topologies and traces so the whole suite
+runs in seconds while still exercising every code path (multiple tenants,
+multiple groups, skewed traffic).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.config import GroupingConfig, LazyCtrlConfig
+from repro.datastructures.intensity import IntensityMatrix
+from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A 16-switch / 200-host multi-tenant data center."""
+    return build_multi_tenant_datacenter(
+        TopologyProfile(switch_count=16, host_count=200, seed=7, home_switches_per_tenant=2)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_network):
+    """A short skewed trace over the small network (6k flows, 24 h)."""
+    generator = RealisticTraceGenerator(
+        small_network, RealisticTraceProfile(total_flows=6000, seed=7)
+    )
+    return generator.generate(name="test-trace")
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A LazyCtrl configuration with a group-size limit suited to 16 switches."""
+    return LazyCtrlConfig(grouping=GroupingConfig(group_size_limit=4, random_seed=7))
+
+
+@pytest.fixture()
+def clustered_matrix():
+    """An intensity matrix with six planted clusters of ten switches each."""
+    rng = random.Random(11)
+    matrix = IntensityMatrix()
+    for i in range(60):
+        for j in range(i + 1, 60):
+            if i // 10 == j // 10:
+                matrix.record(i, j, rng.uniform(5.0, 10.0))
+            elif rng.random() < 0.05:
+                matrix.record(i, j, rng.uniform(0.1, 1.0))
+    return matrix

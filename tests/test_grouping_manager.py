@@ -1,0 +1,103 @@
+"""Unit tests for the grouping manager (regrouping triggers, Fig. 8 accounting)."""
+
+import pytest
+
+from repro.common.config import GroupingConfig, RegroupingPolicy
+from repro.controlplane.grouping_manager import GroupingManager
+from repro.datastructures.intensity import IntensityMatrix
+from repro.partitioning.sgi import Grouping
+
+
+def warmup_matrix() -> IntensityMatrix:
+    matrix = IntensityMatrix()
+    for i in range(10):
+        for j in range(i + 1, 10):
+            matrix.record(i, j, 5.0)
+            matrix.record(10 + i, 10 + j, 5.0)
+    return matrix
+
+
+def make_manager(*, dynamic: bool = True, policy: RegroupingPolicy | None = None) -> GroupingManager:
+    return GroupingManager(
+        grouping_config=GroupingConfig(group_size_limit=10, random_seed=1),
+        policy=policy or RegroupingPolicy(min_interval_seconds=120.0, max_interval_seconds=7200.0),
+        dynamic=dynamic,
+    )
+
+
+class TestInitialGrouping:
+    def test_initial_grouping_recorded(self):
+        manager = make_manager()
+        grouping = manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        assert manager.current_grouping is grouping
+        assert grouping.switch_count() == 20
+
+    def test_register_switches(self):
+        manager = make_manager()
+        manager.register_switches([1, 2, 3])
+        assert set(manager.recent_matrix.switches()) >= {1, 2, 3}
+
+
+class TestCheckTriggers:
+    def test_no_grouping_no_action(self):
+        manager = make_manager()
+        decision = manager.check(1000.0, workload_rps=500.0)
+        assert not decision.regrouped and "no initial grouping" in decision.reason
+
+    def test_static_mode_never_regroups(self):
+        manager = make_manager(dynamic=False)
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        decision = manager.check(10_000.0, workload_rps=10_000.0)
+        assert not decision.regrouped and decision.reason == "static mode"
+
+    def test_minimum_interval_respected(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        decision = manager.check(60.0, workload_rps=10_000.0)
+        assert not decision.regrouped and "minimum update interval" in decision.reason
+
+    def test_no_trigger_when_workload_stable(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        decision = manager.check(300.0, workload_rps=101.0)
+        assert not decision.regrouped and decision.reason == "no trigger fired"
+
+    def test_workload_growth_triggers_update(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        # Recent traffic crosses the old group boundary, so an update helps.
+        for i in range(5, 10):
+            for j in range(10, 15):
+                manager.observe_flow(i, j, 30.0)
+        decision = manager.check(300.0, workload_rps=200.0)
+        assert decision.regrouped
+        assert decision.reason == "workload growth"
+        assert manager.update_count == 1
+        assert decision.grouping.largest_group_size() <= 10
+
+    def test_unhelpful_update_not_counted(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        # Workload grew but traffic still matches the existing grouping.
+        manager.observe_flow(0, 1, 50.0)
+        decision = manager.check(300.0, workload_rps=500.0)
+        assert not decision.regrouped
+        assert manager.update_count == 0
+
+    def test_updates_per_hour_series(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=10.0)
+        for i in range(5, 10):
+            for j in range(10, 15):
+                manager.observe_flow(i, j, 30.0)
+        manager.check(3700.0, workload_rps=100.0)
+        series = manager.updates_per_hour(hours=3)
+        assert len(series) == 3
+        assert series[1] == manager.update_count
+
+    def test_growth_measured_relative_to_last_update(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=1000.0)
+        # A 10 % increase does not reach the 30 % trigger.
+        decision = manager.check(300.0, workload_rps=1100.0)
+        assert not decision.regrouped

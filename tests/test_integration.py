@@ -1,0 +1,123 @@
+"""Integration tests exercising the full system end to end."""
+
+import pytest
+
+from repro import quickstart
+from repro.common.config import GroupingConfig, LazyCtrlConfig
+from repro.controlplane.state_dissemination import StateDisseminator
+from repro.core.results import FlowPathKind
+from repro.core.system import LazyCtrlSystem, OpenFlowSystem
+from repro.failover.detection import FailureDetector
+from repro.failover.recovery import FailoverManager
+from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.traffic.expand import expand_trace
+from repro.traffic.flow import FlowRecord
+from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.replay import TraceReplayer
+
+
+class TestQuickstart:
+    def test_quickstart_headline_result(self):
+        result = quickstart(switch_count=24, host_count=300, total_flows=5000, seed=3)
+        dynamic = result.reduction("OpenFlow", "LazyCtrl (dynamic)")
+        assert 0.4 <= dynamic <= 1.0
+        assert result.runs["LazyCtrl (dynamic)"].latency.overall_mean_ms <= result.runs["OpenFlow"].latency.overall_mean_ms
+
+
+class TestReplayIntegration:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        network = build_multi_tenant_datacenter(
+            TopologyProfile(switch_count=12, host_count=160, seed=21, home_switches_per_tenant=2)
+        )
+        trace = RealisticTraceGenerator(network, RealisticTraceProfile(total_flows=4000, seed=21)).generate()
+        config = LazyCtrlConfig(grouping=GroupingConfig(group_size_limit=3, random_seed=21))
+        return network, trace, config
+
+    def test_full_replay_keeps_controller_lazier_than_baseline(self, deployment):
+        network, trace, config = deployment
+        lazy = LazyCtrlSystem(network, config=config, dynamic_grouping=True)
+        lazy.install_initial_grouping(trace, warmup_end=3600.0)
+        TraceReplayer(trace, lazy, periodic_interval=120.0, periodic_callbacks=[lazy.periodic]).replay()
+
+        baseline = OpenFlowSystem(network, config=config)
+        TraceReplayer(trace, baseline, periodic_interval=120.0).replay()
+
+        assert lazy.controller.total_requests < baseline.controller.total_requests
+        assert lazy.counters.intra_group_flows > 0
+        # Every flow was accounted for in both systems.
+        assert lazy.counters.flows_handled == baseline.counters.flows_handled == len(trace)
+
+    def test_expanded_trace_increases_update_frequency(self, deployment):
+        network, trace, config = deployment
+        expanded = expand_trace(trace, extra_fraction=0.3, seed=21)
+
+        def run(t):
+            system = LazyCtrlSystem(network, config=config, dynamic_grouping=True)
+            system.install_initial_grouping(t, warmup_end=3600.0)
+            TraceReplayer(t, system, periodic_interval=120.0, periodic_callbacks=[system.periodic]).replay()
+            return system.controller.grouping_manager.update_count
+
+        assert run(expanded) >= run(trace)
+
+    def test_migration_keeps_traffic_intra_group(self, deployment):
+        network, trace, config = deployment
+        system = LazyCtrlSystem(network, config=config, dynamic_grouping=False)
+        system.install_initial_grouping(trace, warmup_end=3600.0)
+        disseminator = system.disseminator
+
+        # Move one host to a switch in a different group and verify flows to
+        # it are handled by its new group without involving the controller.
+        group_of = system.controller.group_assignment()
+        host = network.hosts()[0]
+        target_switch = next(
+            sid for sid in network.switch_ids() if group_of[sid] != group_of[host.switch_id]
+        )
+        disseminator.migrate_host(host.host_id, target_switch)
+
+        peer = next(
+            h for h in network.hosts()
+            if h.host_id != host.host_id and group_of.get(h.switch_id) == group_of[target_switch]
+            and h.switch_id != target_switch
+        )
+        before = system.controller.total_requests
+        flow = FlowRecord(start_time=50_000.0, flow_id=999_001, src_host_id=peer.host_id, dst_host_id=host.host_id)
+        result = system.handle_flow_arrival(flow, now=50_000.0)
+        assert result.path in (FlowPathKind.INTRA_GROUP, FlowPathKind.LOCAL)
+        assert system.controller.total_requests == before
+
+    def test_failover_after_designated_switch_failure(self, deployment):
+        network, trace, config = deployment
+        system = LazyCtrlSystem(network, config=config, dynamic_grouping=False)
+        system.install_initial_grouping(trace, warmup_end=3600.0)
+
+        # Pick a group (with more than one member) that hosts VMs on at least
+        # two different member switches, so an intra-group flow exists.
+        def hosts_by_switch(group):
+            placed = {}
+            for host in network.hosts():
+                if host.switch_id in group.member_ids():
+                    placed.setdefault(host.switch_id, host)
+            return placed
+
+        group, placed = next(
+            (g, hosts_by_switch(g))
+            for g in system.controller.groups.values()
+            if len(g) > 1 and len(hosts_by_switch(g)) >= 2
+        )
+        designated = group.designated_switch_id
+        group.member(designated).failed = True
+
+        detector = FailureDetector(group)
+        manager = FailoverManager(system.controller, group)
+        manager.handle_all(detector.detect())
+        assert group.designated_switch_id != designated
+
+        # After recovery the group resynchronizes and intra-group forwarding works.
+        group.member(designated).failed = False
+        manager.complete_switch_recovery(designated)
+        src_switch, dst_switch = sorted(placed)[:2]
+        src_host, dst_host = placed[src_switch], placed[dst_switch]
+        flow = FlowRecord(start_time=60_000.0, flow_id=999_002, src_host_id=src_host.host_id, dst_host_id=dst_host.host_id)
+        result = system.handle_flow_arrival(flow, now=60_000.0)
+        assert result.path in (FlowPathKind.INTRA_GROUP, FlowPathKind.FLOW_TABLE, FlowPathKind.LOCAL)

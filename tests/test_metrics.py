@@ -1,0 +1,164 @@
+"""Unit tests for metric recorders."""
+
+import pytest
+
+from repro.simulation.metrics import CounterSeries, LatencyRecorder, SummaryStatistics, WorkloadMeter
+
+
+class TestCounterSeries:
+    def test_buckets_by_timestamp(self):
+        series = CounterSeries(10.0)
+        series.record(1.0)
+        series.record(5.0)
+        series.record(15.0)
+        assert series.bucket_count(0) == 2
+        assert series.bucket_count(1) == 1
+
+    def test_total(self):
+        series = CounterSeries(10.0)
+        series.record(1.0, amount=2.5)
+        series.record(25.0)
+        assert series.total() == pytest.approx(3.5)
+
+    def test_series_fills_gaps(self):
+        series = CounterSeries(10.0)
+        series.record(1.0)
+        series.record(35.0)
+        values = dict(series.series(bucket_range=(0, 4)))
+        assert values == {0: 1.0, 1: 0.0, 2: 0.0, 3: 1.0}
+
+    def test_rate_series(self):
+        series = CounterSeries(10.0)
+        for t in range(10):
+            series.record(float(t))
+        assert dict(series.rate_series())[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            CounterSeries(0.0)
+
+
+class TestLatencyRecorder:
+    def test_bucket_means(self):
+        recorder = LatencyRecorder(10.0)
+        recorder.record(1.0, 2.0)
+        recorder.record(2.0, 4.0)
+        recorder.record(15.0, 10.0)
+        assert recorder.bucket_mean(0) == pytest.approx(3.0)
+        assert recorder.bucket_mean(1) == pytest.approx(10.0)
+
+    def test_weighted_record(self):
+        recorder = LatencyRecorder(10.0)
+        recorder.record(1.0, 2.0)
+        recorder.record(1.0, 10.0, count=3)
+        assert recorder.overall_mean() == pytest.approx((2.0 + 30.0) / 4)
+        assert recorder.sample_count() == 4
+
+    def test_zero_count_ignored(self):
+        recorder = LatencyRecorder(10.0)
+        recorder.record(1.0, 5.0, count=0)
+        assert recorder.sample_count() == 0
+
+    def test_empty_bucket_mean_zero(self):
+        assert LatencyRecorder(10.0).bucket_mean(3) == 0.0
+
+    def test_mean_series_with_range(self):
+        recorder = LatencyRecorder(10.0)
+        recorder.record(25.0, 7.0)
+        series = dict(recorder.mean_series(bucket_range=(0, 3)))
+        assert series == {0: 0.0, 1: 0.0, 2: 7.0}
+
+    def test_summary_with_samples(self):
+        recorder = LatencyRecorder(10.0, keep_samples=True)
+        for value in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            recorder.record(0.0, value)
+        summary = recorder.summary()
+        assert summary.count == 5
+        assert summary.maximum == 100.0
+        assert summary.p50 == 3.0
+
+    def test_summary_without_samples_degrades_gracefully(self):
+        recorder = LatencyRecorder(10.0)
+        recorder.record(0.0, 5.0)
+        summary = recorder.summary()
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.p95 == pytest.approx(5.0)
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(0.0)
+
+
+class TestSummaryStatistics:
+    def test_empty(self):
+        summary = SummaryStatistics.from_samples([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_percentiles_monotone(self):
+        summary = SummaryStatistics.from_samples(range(100))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+class TestWorkloadMeter:
+    def test_rate_within_window(self):
+        meter = WorkloadMeter(window_seconds=10.0)
+        for t in range(10):
+            meter.record(float(t))
+        assert meter.rate(10.0) == pytest.approx(1.0, rel=0.3)
+
+    def test_old_events_expire(self):
+        meter = WorkloadMeter(window_seconds=10.0)
+        meter.record(0.0)
+        assert meter.rate(100.0) == 0.0
+
+    def test_empty_rate_zero(self):
+        assert WorkloadMeter().rate(5.0) == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WorkloadMeter(window_seconds=0.0)
+
+
+class TestLatencyModelBasics:
+    def test_intra_group_much_faster_than_openflow_reactive(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        intra = model.intra_group_delivery().total_ms
+        reactive = model.openflow_reactive_setup(3000.0, needs_location_learning=True).total_ms
+        assert reactive > 10 * intra
+
+    def test_inter_group_between_intra_and_reactive(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        intra = model.intra_group_delivery().total_ms
+        inter = model.inter_group_setup(1000.0).total_ms
+        reactive = model.openflow_reactive_setup(1000.0, needs_location_learning=True).total_ms
+        assert intra < inter < reactive
+
+    def test_controller_processing_grows_with_load(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        assert model.controller_processing(5000.0) > model.controller_processing(100.0)
+
+    def test_duplicate_targets_add_latency(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        assert model.intra_group_delivery(duplicate_targets=3).total_ms > model.intra_group_delivery().total_ms
+
+    def test_breakdown_totals_are_component_sums(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        breakdown = model.inter_group_setup(500.0)
+        assert breakdown.total_ms == pytest.approx(sum(breakdown.components.values()))
+
+    def test_arp_paths_defined(self):
+        from repro.simulation.latency import LatencyModel
+
+        model = LatencyModel()
+        assert model.intra_group_arp_resolution().total_ms > 0
+        assert model.cross_group_arp_resolution(1000.0, group_count=6).total_ms > 0

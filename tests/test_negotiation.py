@@ -1,0 +1,83 @@
+"""Unit tests for the Rubinstein-style group-size bargaining (Appendix C)."""
+
+import pytest
+
+from repro.common.errors import NegotiationError
+from repro.negotiation.bargaining import BargainingConfig, GroupSizeBargainer
+
+
+class TestConfigAndUtilities:
+    def test_config_validation(self):
+        with pytest.raises(NegotiationError):
+            BargainingConfig(minimum_group_size=10, maximum_group_size=5)
+        with pytest.raises(NegotiationError):
+            BargainingConfig(controller_discount=1.0)
+        with pytest.raises(NegotiationError):
+            BargainingConfig(switch_discount=0.0)
+        with pytest.raises(NegotiationError):
+            BargainingConfig(max_rounds=0)
+
+    def test_controller_prefers_larger_groups(self):
+        bargainer = GroupSizeBargainer()
+        assert bargainer.controller_utility(400) > bargainer.controller_utility(50)
+
+    def test_switches_prefer_smaller_groups(self):
+        bargainer = GroupSizeBargainer()
+        assert bargainer.switch_utility(16) > bargainer.switch_utility(400)
+
+    def test_utilities_normalized(self):
+        config = BargainingConfig(minimum_group_size=8, maximum_group_size=512)
+        bargainer = GroupSizeBargainer(config)
+        assert bargainer.controller_utility(8) == 0.0
+        assert bargainer.controller_utility(512) == 1.0
+        assert bargainer.switch_utility(8) == 1.0
+        assert bargainer.switch_utility(512) == 0.0
+
+    def test_memory_cap_zeroes_utility(self):
+        bargainer = GroupSizeBargainer()
+        assert bargainer.switch_utility(300, memory_capacity_entries=100) == 0.0
+
+    def test_out_of_bounds_size_rejected(self):
+        bargainer = GroupSizeBargainer(BargainingConfig(minimum_group_size=8, maximum_group_size=64))
+        with pytest.raises(NegotiationError):
+            bargainer.controller_utility(128)
+
+
+class TestNegotiation:
+    def test_agreement_reached(self):
+        outcome = GroupSizeBargainer().negotiate()
+        assert outcome.offers[-1].accepted
+        assert outcome.rounds >= 1
+
+    def test_agreed_size_within_bounds(self):
+        config = BargainingConfig(minimum_group_size=16, maximum_group_size=128)
+        outcome = GroupSizeBargainer(config).negotiate()
+        assert 16 <= outcome.agreed_group_size <= 128
+
+    def test_patient_controller_gets_larger_groups(self):
+        patient = GroupSizeBargainer(BargainingConfig(controller_discount=0.95, switch_discount=0.5)).negotiate()
+        impatient = GroupSizeBargainer(BargainingConfig(controller_discount=0.5, switch_discount=0.95)).negotiate()
+        assert patient.agreed_group_size > impatient.agreed_group_size
+
+    def test_memory_cap_bounds_agreement(self):
+        outcome = GroupSizeBargainer().negotiate(switch_memory_capacity_entries=64)
+        assert outcome.agreed_group_size <= 64
+
+    def test_infeasible_memory_cap_rejected(self):
+        config = BargainingConfig(minimum_group_size=32, maximum_group_size=128)
+        with pytest.raises(NegotiationError):
+            GroupSizeBargainer(config).negotiate(switch_memory_capacity_entries=8)
+
+    def test_offer_history_alternates_proposers(self):
+        # Force at least a couple of rounds by making both sides impatient
+        # enough to reject extreme first offers but the game still converges.
+        outcome = GroupSizeBargainer(BargainingConfig(controller_discount=0.6, switch_discount=0.6)).negotiate()
+        proposers = [offer.proposer for offer in outcome.offers]
+        assert proposers[0] == "controller"
+        for first, second in zip(proposers, proposers[1:]):
+            assert first != second
+
+    def test_deterministic(self):
+        a = GroupSizeBargainer().negotiate()
+        b = GroupSizeBargainer().negotiate()
+        assert a.agreed_group_size == b.agreed_group_size

@@ -1,0 +1,92 @@
+"""Unit tests for the baseline OpenFlow edge switch."""
+
+from repro.common.addresses import IpAddress, MacAddress
+from repro.common.packets import FlowKey, make_arp_request, make_data_packet
+from repro.datastructures.flow_table import ActionType, FlowAction
+from repro.dataplane.decisions import ForwardingOutcome
+from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
+
+
+def make_switch(switch_id: int = 0) -> OpenFlowEdgeSwitch:
+    return OpenFlowEdgeSwitch(
+        switch_id,
+        underlay_ip=IpAddress.from_switch_index(switch_id),
+        management_mac=MacAddress.from_switch_index(switch_id),
+    )
+
+
+def mac(i: int) -> MacAddress:
+    return MacAddress.from_host_index(i)
+
+
+class TestOpenFlowSwitch:
+    def test_table_miss_goes_to_controller(self):
+        switch = make_switch()
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.SENT_TO_CONTROLLER
+        assert switch.packets_to_controller == 1
+
+    def test_flow_table_hit(self):
+        switch = make_switch()
+        key = FlowKey(mac(1), mac(2), 0)
+        switch.install_flow_rule(key, FlowAction(ActionType.ENCAP_TO_SWITCH, 4))
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT
+        assert decision.target_switches == (4,)
+
+    def test_local_delivery_without_rule(self):
+        switch = make_switch()
+        switch.attach_host(mac(2), 3, 0)
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.LOCAL_DELIVERY
+        assert decision.local_port == 3
+
+    def test_drop_rule(self):
+        switch = make_switch()
+        switch.install_flow_rule(FlowKey(mac(1), mac(2), 0), FlowAction(ActionType.DROP))
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.DROPPED_NO_RULE
+
+    def test_forward_local_rule(self):
+        switch = make_switch()
+        switch.install_flow_rule(FlowKey(mac(1), mac(2), 0), FlowAction(ActionType.FORWARD_LOCAL, 9))
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT
+        assert decision.local_port == 9
+
+    def test_arp_for_local_host_answered_without_controller(self):
+        switch = make_switch()
+        switch.attach_host(mac(9), 1, 0)
+        decision = switch.process_packet(make_arp_request(mac(1), mac(9), 0))
+        assert decision.outcome == ForwardingOutcome.ARP_RESOLVED_LOCALLY
+        assert switch.packets_to_controller == 0
+
+    def test_arp_for_remote_host_goes_to_controller(self):
+        switch = make_switch()
+        decision = switch.process_packet(make_arp_request(mac(1), mac(9), 0))
+        assert decision.outcome == ForwardingOutcome.ARP_FORWARDED_TO_CONTROLLER
+
+    def test_failed_switch_drops(self):
+        switch = make_switch()
+        switch.failed = True
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.DROPPED_NO_RULE
+
+    def test_detach_host(self):
+        switch = make_switch()
+        switch.attach_host(mac(2), 3, 0)
+        switch.detach_host(mac(2))
+        decision = switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        assert decision.outcome == ForwardingOutcome.SENT_TO_CONTROLLER
+
+    def test_local_host_port_helper(self):
+        switch = make_switch()
+        switch.attach_host(mac(2), 3, 0)
+        assert switch.local_host(mac(2)) == 3
+        assert switch.local_host(mac(9)) is None
+
+    def test_reset_counters(self):
+        switch = make_switch()
+        switch.process_packet(make_data_packet(mac(1), mac(2), 0))
+        switch.reset_counters()
+        assert switch.packets_processed == 0

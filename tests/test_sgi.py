@@ -1,0 +1,156 @@
+"""Unit tests for the SGI grouping algorithm (IniGroup + IncUpdate)."""
+
+import pytest
+
+from repro.common.config import GroupingConfig
+from repro.common.errors import InfeasibleGroupingError
+from repro.datastructures.intensity import IntensityMatrix
+from repro.partitioning.sgi import (
+    Grouping,
+    SgiGrouper,
+    average_group_centrality,
+    grouping_quality,
+)
+
+
+class TestGroupingValue:
+    def test_assignment_and_group_of(self):
+        grouping = Grouping(groups={0: frozenset({1, 2}), 1: frozenset({3})})
+        assert grouping.group_of(2) == 0
+        assert grouping.group_of(3) == 1
+        assert grouping.group_of(99) is None
+        assert grouping.assignment() == {1: 0, 2: 0, 3: 1}
+
+    def test_counts_and_sizes(self):
+        grouping = Grouping(groups={0: frozenset({1, 2, 3}), 1: frozenset({4})})
+        assert grouping.group_count() == 2
+        assert grouping.switch_count() == 4
+        assert grouping.largest_group_size() == 3
+        assert grouping.sizes() == [3, 1]
+
+    def test_as_sets(self):
+        grouping = Grouping(groups={0: frozenset({1})})
+        assert grouping.as_sets() == [{1}]
+
+
+class TestIniGroup:
+    def test_estimate_group_count(self):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=50))
+        assert grouper.estimate_group_count(272) == 6
+        assert grouper.estimate_group_count(0) == 0
+        assert grouper.estimate_group_count(10) == 1
+
+    def test_initial_grouping_respects_size_limit(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=12, random_seed=1))
+        grouping = grouper.initial_grouping(clustered_matrix)
+        assert grouping.largest_group_size() <= 12
+        assert grouping.switch_count() == 60
+
+    def test_initial_grouping_exploits_locality(self, clustered_matrix):
+        # With slack (limit 20 for clusters of 10) the clusters are preserved
+        # and almost no traffic crosses groups.
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=20, random_seed=1))
+        grouping = grouper.initial_grouping(clustered_matrix)
+        assert grouping_quality(clustered_matrix, grouping) < 0.10
+
+    def test_explicit_group_count(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=30, random_seed=1))
+        grouping = grouper.initial_grouping(clustered_matrix, group_count=6)
+        assert grouping.group_count() <= 6
+        assert grouping.largest_group_size() <= 30
+
+    def test_infeasible_group_count_rejected(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=5, random_seed=1))
+        with pytest.raises(InfeasibleGroupingError):
+            grouper.initial_grouping(clustered_matrix, group_count=2)
+
+    def test_empty_matrix(self):
+        grouper = SgiGrouper()
+        assert grouper.initial_grouping(IntensityMatrix()).group_count() == 0
+
+    def test_statistics_updated(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=12))
+        grouper.initial_grouping(clustered_matrix)
+        assert grouper.statistics.initial_groupings == 1
+        assert grouper.statistics.last_initial_seconds >= 0.0
+
+    def test_isolated_switches_still_grouped(self):
+        matrix = IntensityMatrix([0, 1, 2, 3, 4])
+        matrix.record(0, 1, 5.0)
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=3))
+        grouping = grouper.initial_grouping(matrix)
+        assert grouping.switch_count() == 5
+
+
+class TestIncUpdate:
+    def _shifted_matrices(self):
+        """History favours grouping {0..9}/{10..19}; recent traffic shifts."""
+        history = IntensityMatrix()
+        for i in range(10):
+            for j in range(i + 1, 10):
+                history.record(i, j, 5.0)
+                history.record(10 + i, 10 + j, 5.0)
+        recent = IntensityMatrix()
+        # Switches 5..9 now talk mostly to 10..14: the old grouping is stale.
+        for i in range(5, 10):
+            for j in range(10, 15):
+                recent.record(i, j, 20.0)
+        return history, recent
+
+    def test_incremental_update_reduces_inter_group_traffic(self):
+        history, recent = self._shifted_matrices()
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=10, random_seed=2))
+        stale = Grouping(groups={0: frozenset(range(10)), 1: frozenset(range(10, 20))})
+        report = grouper.incremental_update(stale, history, recent)
+        assert report.inter_group_after <= report.inter_group_before + 1e-9
+        assert report.merge_split_count >= 1
+
+    def test_incremental_update_respects_size_limit(self):
+        history, recent = self._shifted_matrices()
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=10, random_seed=2))
+        stale = Grouping(groups={0: frozenset(range(10)), 1: frozenset(range(10, 20))})
+        report = grouper.incremental_update(stale, history, recent)
+        assert report.grouping.largest_group_size() <= 10
+        assert report.grouping.switch_count() == 20
+
+    def test_incremental_update_noop_when_grouping_is_good(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=20, random_seed=1))
+        grouping = grouper.initial_grouping(clustered_matrix)
+        quiet = IntensityMatrix(clustered_matrix.switches())
+        report = grouper.incremental_update(grouping, clustered_matrix, quiet,
+                                            stop_when_intensity_below=1.0)
+        # Stop threshold of 1.0 means "already good enough": nothing happens.
+        assert report.merge_split_count == 0
+        assert report.grouping.groups == grouping.groups
+
+    def test_incremental_update_statistics(self):
+        history, recent = self._shifted_matrices()
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=10, random_seed=2))
+        stale = Grouping(groups={0: frozenset(range(10)), 1: frozenset(range(10, 20))})
+        grouper.incremental_update(stale, history, recent)
+        assert grouper.statistics.incremental_updates == 1
+
+    def test_incremental_is_faster_than_full_regroup(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=12, random_seed=3))
+        grouping = grouper.initial_grouping(clustered_matrix)
+        recent = IntensityMatrix(clustered_matrix.switches())
+        recent.record(0, 15, 50.0)
+        grouper.incremental_update(grouping, clustered_matrix, recent, max_merge_splits=1)
+        # The paper claims IncUpdate is more than an order of magnitude faster
+        # than IniGroup; on these small inputs we just assert it is not slower.
+        assert grouper.statistics.last_incremental_seconds <= grouper.statistics.last_initial_seconds * 5 + 0.05
+
+
+class TestQualityMetrics:
+    def test_grouping_quality_zero_for_single_group(self, clustered_matrix):
+        switches = frozenset(clustered_matrix.switches())
+        grouping = Grouping(groups={0: switches})
+        assert grouping_quality(clustered_matrix, grouping) == 0.0
+
+    def test_average_group_centrality_high_for_good_grouping(self, clustered_matrix):
+        grouper = SgiGrouper(GroupingConfig(group_size_limit=20, random_seed=1))
+        grouping = grouper.initial_grouping(clustered_matrix)
+        assert average_group_centrality(clustered_matrix, grouping) > 0.85
+
+    def test_average_group_centrality_empty(self):
+        assert average_group_centrality(IntensityMatrix(), Grouping(groups={})) == 0.0

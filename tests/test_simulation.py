@@ -1,0 +1,175 @@
+"""Unit tests for the discrete-event simulation substrate."""
+
+import pytest
+
+from repro.common.errors import EventOrderError, SimulationError
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import EventKind, EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_by(self):
+        clock = SimulationClock(1.0)
+        assert clock.advance_by(2.5) == 3.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(EventOrderError):
+            clock.advance_to(5.0)
+
+    def test_cannot_advance_by_negative(self):
+        with pytest.raises(EventOrderError):
+            SimulationClock().advance_by(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(EventOrderError):
+            SimulationClock(-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(5.0, EventKind.TIMER)
+        queue.schedule(1.0, EventKind.TIMER)
+        queue.schedule(3.0, EventKind.TIMER)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, EventKind.TIMER, payload="first")
+        second = queue.schedule(1.0, EventKind.TIMER, payload="second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, EventKind.TIMER)
+        queue.schedule(2.0, EventKind.TIMER)
+        event.cancel()
+        assert queue.pop().time == 2.0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(4.0, EventKind.TIMER)
+        assert queue.peek_time() == 4.0
+
+    def test_not_before_guard(self):
+        queue = EventQueue()
+        with pytest.raises(EventOrderError):
+            queue.schedule(1.0, EventKind.TIMER, not_before=2.0)
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, EventKind.TIMER)
+        assert len(queue) == 1 and queue
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, EventKind.TIMER)
+        queue.clear()
+        assert not queue
+
+
+class TestEngine:
+    def test_callbacks_fire_in_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(2.0, EventKind.TIMER, callback=lambda e: fired.append(2))
+        engine.schedule_at(1.0, EventKind.TIMER, callback=lambda e: fired.append(1))
+        engine.run_to_completion()
+        assert fired == [1, 2]
+        assert engine.now == 2.0
+
+    def test_subscribers_receive_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.subscribe(EventKind.KEEPALIVE, lambda e: seen.append(e.payload))
+        engine.schedule_at(1.0, EventKind.KEEPALIVE, payload="ping")
+        engine.schedule_at(2.0, EventKind.TIMER, payload="ignored")
+        engine.run_to_completion()
+        assert seen == ["ping"]
+
+    def test_run_until_leaves_future_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, EventKind.TIMER, callback=lambda e: fired.append(1))
+        engine.schedule_at(10.0, EventKind.TIMER, callback=lambda e: fired.append(10))
+        dispatched = engine.run_until(5.0)
+        assert dispatched == 1 and fired == [1]
+        assert engine.now == 5.0
+        assert len(engine.queue) == 1
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=3.0)
+        event = engine.schedule_after(2.0, EventKind.TIMER)
+        assert event.time == 5.0
+
+    def test_schedule_after_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_after(-1.0, EventKind.TIMER)
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(EventOrderError):
+            engine.schedule_at(1.0, EventKind.TIMER)
+
+    def test_periodic_events(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(1.0, EventKind.TIMER, callback=lambda e: ticks.append(e.time))
+        engine.run_until(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_stops_on_stop_iteration(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick(event):
+            ticks.append(event.time)
+            if len(ticks) >= 3:
+                raise StopIteration
+
+        engine.schedule_periodic(1.0, EventKind.TIMER, callback=tick)
+        engine.run_until(10.0)
+        assert len(ticks) == 3
+
+    def test_periodic_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule_periodic(0.0, EventKind.TIMER)
+
+    def test_event_budget_guard(self):
+        engine = SimulationEngine()
+
+        def reschedule(event):
+            engine.schedule_after(0.001, EventKind.TIMER, callback=reschedule)
+
+        engine.schedule_after(0.001, EventKind.TIMER, callback=reschedule)
+        with pytest.raises(SimulationError):
+            engine.run_to_completion(max_events=100)
+
+    def test_reset_clears_queue_and_clock(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, EventKind.TIMER)
+        engine.run_to_completion()
+        engine.reset()
+        assert engine.now == 0.0 and len(engine.queue) == 0 and engine.processed_events == 0

@@ -1,0 +1,164 @@
+"""Unit tests for flow records, traces and the trace replayer."""
+
+import pytest
+
+from repro.common.errors import TrafficError
+from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.traffic.flow import FlowRecord
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    return build_multi_tenant_datacenter(TopologyProfile(switch_count=4, host_count=40, seed=1))
+
+
+def flow(t: float, src: int, dst: int, flow_id: int = 0, packets: int = 5) -> FlowRecord:
+    return FlowRecord(start_time=t, flow_id=flow_id, src_host_id=src, dst_host_id=dst, packet_count=packets)
+
+
+class TestFlowRecord:
+    def test_valid_record(self):
+        record = flow(1.0, 0, 1)
+        assert record.unordered_pair == (0, 1)
+        assert record.host_pair == (0, 1)
+        assert record.end_time == pytest.approx(2.0)
+
+    def test_unordered_pair_symmetric(self):
+        assert flow(0.0, 5, 2).unordered_pair == (2, 5)
+
+    def test_rejects_self_flow(self):
+        with pytest.raises(ValueError):
+            flow(0.0, 3, 3)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            flow(-1.0, 0, 1)
+
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            FlowRecord(start_time=0.0, flow_id=0, src_host_id=0, dst_host_id=1, packet_count=0)
+
+    def test_ordering_by_time(self):
+        records = sorted([flow(5.0, 0, 1, 1), flow(1.0, 0, 1, 2)])
+        assert records[0].start_time == 1.0
+
+
+class TestTrace:
+    def test_sorted_and_sized(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(5.0, 0, 1, 1), flow(1.0, 2, 3, 2)])
+        assert [f.flow_id for f in trace] == [2, 1]
+        assert len(trace) == 2
+        assert trace.duration == 5.0
+
+    def test_rejects_unknown_hosts(self, tiny_network):
+        with pytest.raises(Exception):
+            Trace("t", tiny_network, [flow(0.0, 0, 10_000)])
+
+    def test_window(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(float(i), 0, 1, i) for i in range(10)])
+        window = trace.window(3.0, 6.0)
+        assert [f.flow_id for f in window] == [3, 4, 5]
+
+    def test_window_rejects_inverted_bounds(self, tiny_network):
+        trace = Trace("t", tiny_network, [])
+        with pytest.raises(TrafficError):
+            trace.window(5.0, 1.0)
+
+    def test_pair_activity(self, tiny_network):
+        flows = [flow(float(i), 0, 1, i) for i in range(90)] + [flow(float(i), 2, 3, 100 + i) for i in range(10)]
+        trace = Trace("t", tiny_network, flows)
+        activity = trace.pair_activity()
+        assert activity.total_flows == 100
+        assert activity.distinct_pairs == 2
+        # The top decile (1 pair) carries 90 % of the flows.
+        assert activity.top_decile_share == pytest.approx(0.9)
+
+    def test_pair_activity_empty(self, tiny_network):
+        assert Trace("t", tiny_network, []).pair_activity().total_flows == 0
+
+    def test_switch_intensity_counts_flows(self, tiny_network):
+        host_a = tiny_network.hosts()[0]
+        host_b = next(h for h in tiny_network.hosts() if h.switch_id != host_a.switch_id)
+        trace = Trace("t", tiny_network, [flow(0.0, host_a.host_id, host_b.host_id, 1)])
+        matrix = trace.switch_intensity()
+        assert matrix.intensity(host_a.switch_id, host_b.switch_id) == 1.0
+
+    def test_hourly_flow_counts(self, tiny_network):
+        flows = [flow(10.0, 0, 1, 1), flow(3700.0, 0, 1, 2), flow(3800.0, 2, 3, 3)]
+        trace = Trace("t", tiny_network, flows)
+        counts = trace.hourly_flow_counts(hours=3)
+        assert counts == [1, 2, 0]
+
+    def test_communicating_pairs(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(0.0, 0, 1, 1), flow(1.0, 1, 0, 2)])
+        assert trace.communicating_pairs() == {(0, 1)}
+
+    def test_subtrace(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(float(i), 0, 1, i) for i in range(10)])
+        sub = trace.subtrace(start=2.0, end=4.0)
+        assert len(sub) == 2
+
+    def test_merge_requires_same_network(self, tiny_network):
+        other_network = build_multi_tenant_datacenter(TopologyProfile(switch_count=4, host_count=40, seed=2))
+        a = Trace("a", tiny_network, [flow(0.0, 0, 1, 1)])
+        b = Trace("b", other_network, [flow(0.0, 0, 1, 1)])
+        with pytest.raises(TrafficError):
+            a.merged_with(b)
+
+    def test_merge(self, tiny_network):
+        a = Trace("a", tiny_network, [flow(0.0, 0, 1, 1)])
+        b = Trace("b", tiny_network, [flow(1.0, 2, 3, 2)])
+        assert len(a.merged_with(b)) == 2
+
+
+class _RecordingSink:
+    def __init__(self):
+        self.seen = []
+
+    def handle_flow_arrival(self, flow, now):
+        self.seen.append((flow.flow_id, now))
+
+
+class TestReplayer:
+    def test_flows_replayed_in_order(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(float(i), 0, 1, i) for i in range(5)])
+        sink = _RecordingSink()
+        progress = TraceReplayer(trace, sink, periodic_interval=100.0).replay()
+        assert [fid for fid, _ in sink.seen] == [0, 1, 2, 3, 4]
+        assert progress.flows_replayed == 5
+
+    def test_periodic_callbacks_interleaved(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(250.0, 0, 1, 1)])
+        sink = _RecordingSink()
+        ticks = []
+        replayer = TraceReplayer(trace, sink, periodic_interval=100.0, periodic_callbacks=[ticks.append])
+        replayer.replay(start=0.0, end=500.0)
+        # Ticks at 100 and 200 fire before the flow at 250; 300..500 after.
+        assert ticks == [100.0, 200.0, 300.0, 400.0, 500.0]
+        assert sink.seen[0][1] == 250.0
+
+    def test_window_replay(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(float(i), 0, 1, i) for i in range(10)])
+        sink = _RecordingSink()
+        TraceReplayer(trace, sink, periodic_interval=100.0).replay(start=3.0, end=6.0)
+        assert [fid for fid, _ in sink.seen] == [3, 4, 5]
+
+    def test_add_periodic_callback(self, tiny_network):
+        trace = Trace("t", tiny_network, [])
+        replayer = TraceReplayer(trace, _RecordingSink(), periodic_interval=50.0)
+        ticks = []
+        replayer.add_periodic_callback(ticks.append)
+        replayer.replay(start=0.0, end=100.0)
+        assert ticks == [50.0, 100.0]
+
+    def test_rejects_bad_interval(self, tiny_network):
+        with pytest.raises(ValueError):
+            TraceReplayer(Trace("t", tiny_network, []), _RecordingSink(), periodic_interval=0.0)
+
+    def test_progress_duration(self, tiny_network):
+        trace = Trace("t", tiny_network, [])
+        progress = TraceReplayer(trace, _RecordingSink(), periodic_interval=10.0).replay(start=0.0, end=30.0)
+        assert progress.duration == 30.0
+        assert progress.periodic_invocations == 3
