@@ -1,48 +1,53 @@
 #!/usr/bin/env python3
 """Quickstart: reproduce the LazyCtrl headline result in under a minute.
 
-Builds a small multi-tenant data center, generates a day-long skewed traffic
-trace, and replays it against the baseline OpenFlow controller and LazyCtrl
-(static and dynamic grouping).  Prints the controller-workload comparison and
-the latency improvement — the paper's Fig. 7 / Fig. 9 story at laptop scale.
+Declares the paper's Fig. 7/8/9 experiment as a ``ScenarioSpec`` (the
+``paper-fig7`` preset), runs it through the ``ScenarioRunner``, and prints
+the controller-workload comparison and the latency improvement — the paper's
+story at laptop scale.
 
 Run with::
 
     python examples/quickstart.py
+
+The same experiment from the command line::
+
+    python -m repro run paper-fig7
 """
 
 from __future__ import annotations
 
-from repro import quickstart
+from repro import ScenarioRunner, get_preset
 from repro.analysis.reports import format_percent, format_table, two_hour_bucket_labels
 
 
 def main() -> None:
-    print("Building the data center, generating the trace and replaying it "
-          "against OpenFlow and LazyCtrl...\n")
-    result = quickstart(switch_count=48, host_count=600, total_flows=20_000, seed=2015)
+    spec = get_preset("paper-fig7").specs()[0]
+    print(f"Running scenario '{spec.name}': {spec.topology.switch_count} switches, "
+          f"{spec.topology.host_count} hosts, {spec.traffic.realistic.total_flows} flows, "
+          f"systems {', '.join(spec.systems)}...\n")
+    result = ScenarioRunner().run(spec)
 
-    labels = list(result.runs)
-    buckets = two_hour_bucket_labels(2.0, 12)
+    baseline = spec.systems[0]
+    buckets = two_hour_bucket_labels(spec.schedule.bucket_hours, 12)
     rows = []
     for index, bucket in enumerate(buckets):
         row = [bucket]
-        for label in labels:
-            krps = result.runs[label].workload.krps
+        for run in result.runs.values():
+            krps = run.workload.krps
             row.append(f"{krps[index] * 1000:.1f}" if index < len(krps) else "-")
         rows.append(row)
-    print(format_table(["Hour"] + [f"{label} (rps)" for label in labels], rows,
+    print(format_table(["Hour"] + [f"{label} (rps)" for label in result.labels()], rows,
                        title="Controller workload per 2-hour bucket"))
 
     print()
     rows = []
-    for label in labels:
-        run = result.runs[label]
-        reduction = result.reduction("OpenFlow", label) if label != "OpenFlow" else 0.0
+    for name, run in result.runs.items():
+        reduction = result.reduction(baseline, name) if name != baseline else 0.0
         rows.append([
-            label,
+            run.label,
             run.total_controller_requests,
-            format_percent(reduction) if label != "OpenFlow" else "-",
+            format_percent(reduction) if name != baseline else "-",
             f"{run.latency.overall_mean_ms:.3f}",
             f"{sum(run.updates_per_hour):.0f}",
         ])

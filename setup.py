@@ -1,5 +1,38 @@
-"""Setup shim so editable installs work with legacy (non-PEP-517) tooling."""
+"""Packaging for the LazyCtrl reproduction."""
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_README = Path(__file__).parent / "README.md"
+
+setup(
+    name="lazyctrl-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'LazyCtrl: Scalable Network Control for Cloud Data Centers' "
+        "(ICDCS 2015): hybrid control plane, switch grouping, scenario runner and CLI"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.is_file() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Networking",
+        "Topic :: Scientific/Engineering",
+    ],
+)

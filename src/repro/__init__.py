@@ -4,37 +4,81 @@ The library implements the paper's hybrid control plane — switch grouping by
 traffic affinity (SGI), Local Control Groups with Bloom-filter G-FIBs, and a
 lazy central controller — together with every substrate the evaluation
 needs: a multi-tenant data-center model, trace generators, a baseline
-reactive OpenFlow controller, a latency model and an experiment harness.
+reactive OpenFlow controller, a latency model and a scenario runner.
+
+The public surface is the Scenario API: describe an experiment declaratively
+with a :class:`ScenarioSpec` (topology + traffic + control planes +
+schedule), run it with :class:`ScenarioRunner`, and get back a serializable
+:class:`ScenarioResult`.  Control-plane designs are pluggable: register your
+own with :func:`register_control_plane` and reference it by name in a spec.
 
 Quickstart
 ----------
->>> from repro import quickstart
->>> result = quickstart()                       # doctest: +SKIP
->>> result.reduction("OpenFlow", "LazyCtrl (dynamic)")  # doctest: +SKIP
+>>> from repro import ScenarioRunner, get_preset
+>>> spec = get_preset("paper-fig7").specs()[0]           # doctest: +SKIP
+>>> result = ScenarioRunner().run(spec)                  # doctest: +SKIP
+>>> result.reduction("openflow", "lazyctrl-dynamic")     # doctest: +SKIP
+
+The same experiment from the command line::
+
+    python -m repro run paper-fig7
+    python -m repro list-scenarios
+
+The legacy helpers remain: :func:`quickstart` runs the headline comparison
+in one call, and :class:`DayLongExperiment` drives a pre-built trace.
 """
 
 from repro.common.config import LazyCtrlConfig
 from repro.core.experiment import DayLongExperiment, DayLongExperimentResult
+from repro.core.presets import Preset, get_preset, list_presets
+from repro.core.registry import (
+    ControlPlane,
+    ControlPlaneEntry,
+    available_control_planes,
+    get_control_plane,
+    register_control_plane,
+)
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario import (
+    FailureInjectionSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    TraceSpec,
+)
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
 from repro.partitioning.sgi import Grouping, SgiGrouper
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
 from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ControlPlane",
+    "ControlPlaneEntry",
     "DayLongExperiment",
     "DayLongExperimentResult",
+    "FailureInjectionSpec",
     "Grouping",
     "LazyCtrlConfig",
     "LazyCtrlSystem",
     "OpenFlowSystem",
+    "Preset",
     "RealisticTraceGenerator",
     "RealisticTraceProfile",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScheduleSpec",
     "SgiGrouper",
     "TopologyProfile",
+    "TraceSpec",
+    "available_control_planes",
     "build_multi_tenant_datacenter",
+    "get_control_plane",
+    "get_preset",
+    "list_presets",
     "quickstart",
+    "register_control_plane",
     "__version__",
 ]
 
@@ -50,18 +94,18 @@ def quickstart(
 
     Builds a multi-tenant data center, generates a day-long skewed trace,
     and replays it against the OpenFlow baseline and both LazyCtrl variants.
-    Sized to finish in well under a minute on a laptop.
+    Sized to finish in well under a minute on a laptop.  This is a thin
+    wrapper over the Scenario API; see :class:`ScenarioSpec` for the full
+    declarative surface.
     """
-    from repro.common.config import GroupingConfig
+    from repro.core.presets import default_grouping_config
 
-    network = build_multi_tenant_datacenter(
-        TopologyProfile(switch_count=switch_count, host_count=host_count, seed=seed)
+    spec = ScenarioSpec(
+        name="quickstart",
+        topology=TopologyProfile(switch_count=switch_count, host_count=host_count, seed=seed),
+        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=total_flows, seed=seed)),
+        systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+        config=default_grouping_config(switch_count, seed=seed),
     )
-    trace = RealisticTraceGenerator(
-        network, RealisticTraceProfile(total_flows=total_flows, seed=seed)
-    ).generate(name="quickstart")
-    # Keep roughly half a dozen groups regardless of the (small) topology so
-    # inter-group traffic exists, as it does at the paper's full scale.
-    config = LazyCtrlConfig(grouping=GroupingConfig(group_size_limit=max(4, switch_count // 6), random_seed=seed))
-    experiment = DayLongExperiment(trace, config=config)
-    return experiment.run_all()
+    result = ScenarioRunner().run(spec)
+    return DayLongExperimentResult(runs={run.label: run for run in result.runs.values()})

@@ -1,0 +1,218 @@
+"""The ``repro`` command-line interface.
+
+Three subcommands cover the everyday workflow::
+
+    python -m repro run paper-fig7 --flows 2000          # run a preset
+    python -m repro run my-scenario.json --out out.json  # run a spec file
+    python -m repro compare out.json                     # reductions vs baseline
+    python -m repro list-scenarios                       # presets + control planes
+
+``run`` accepts either a preset name (see ``list-scenarios``) or a path to a
+JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
+spec fields can be overridden from the command line (``--flows``,
+``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``)
+and multi-scenario presets fan out over ``--workers`` processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.reports import format_percent, format_table
+from repro.common.errors import ReproError
+from repro.core.presets import get_preset, list_presets
+from repro.core.registry import available_control_planes
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario import ScenarioSpec
+
+
+def _load_specs(target: str) -> List[ScenarioSpec]:
+    """Resolve a CLI scenario argument into specs: a JSON file or a preset name."""
+    path = Path(target)
+    if target.endswith(".json") or path.is_file():
+        return [ScenarioSpec.load(path)]
+    return list(get_preset(target).specs())
+
+
+def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
+    """Apply ``--flows``/``--switches``/... overrides to one spec."""
+    topology = spec.topology
+    if args.switches is not None:
+        topology = dataclasses.replace(topology, switch_count=args.switches)
+    if args.hosts is not None:
+        topology = dataclasses.replace(topology, host_count=args.hosts)
+    if args.seed is not None:
+        topology = dataclasses.replace(topology, seed=args.seed)
+
+    traffic = spec.traffic
+    if args.flows is not None or args.seed is not None:
+        if traffic.kind == "synthetic":
+            synthetic = traffic.synthetic
+            if args.flows is not None:
+                synthetic = dataclasses.replace(synthetic, total_flows=args.flows)
+            if args.seed is not None:
+                synthetic = dataclasses.replace(synthetic, seed=args.seed)
+            traffic = dataclasses.replace(traffic, synthetic=synthetic)
+        else:
+            realistic = traffic.realistic
+            if args.flows is not None:
+                realistic = dataclasses.replace(realistic, total_flows=args.flows)
+            if args.seed is not None:
+                realistic = dataclasses.replace(realistic, seed=args.seed)
+            traffic = dataclasses.replace(traffic, realistic=realistic)
+
+    schedule = spec.schedule
+    if args.duration_hours is not None:
+        schedule = dataclasses.replace(schedule, duration_hours=args.duration_hours)
+
+    systems = spec.systems
+    if args.systems is not None:
+        systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
+
+    return dataclasses.replace(
+        spec, topology=topology, traffic=traffic, schedule=schedule, systems=systems
+    )
+
+
+def _print_result(result: ScenarioResult) -> None:
+    """Print the summary table for one scenario."""
+    baseline_name = next(iter(result.runs))
+    rows = []
+    for name, run in result.runs.items():
+        reduction = result.reduction(baseline_name, name) if name != baseline_name else 0.0
+        rows.append([
+            run.label,
+            run.total_controller_requests,
+            format_percent(reduction) if name != baseline_name else "-",
+            f"{run.latency.overall_mean_ms:.3f}",
+            f"{sum(run.updates_per_hour):.0f}",
+            run.failover_events,
+        ])
+    print(format_table(
+        ["Control plane", "Controller requests", "Reduction vs baseline",
+         "Mean latency (ms)", "Grouping updates", "Failover events"],
+        rows,
+        title=f"Scenario '{result.spec.name}'",
+    ))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = [_apply_overrides(spec, args) for spec in _load_specs(args.scenario)]
+    results = ScenarioRunner().run_many(specs, workers=args.workers)
+    for index, result in enumerate(results):
+        if index:
+            print()
+        _print_result(result)
+    if args.out is not None:
+        payload = [result.to_dict() for result in results]
+        Path(args.out).write_text(
+            json.dumps(payload[0] if len(payload) == 1 else payload, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nResults written to {args.out}")
+    return 0
+
+
+def _load_results(target: str) -> List[ScenarioResult]:
+    """Resolve a ``compare`` argument: a results JSON file or a preset to run."""
+    path = Path(target)
+    if target.endswith(".json") or path.is_file():
+        data = json.loads(path.read_text(encoding="utf-8"))
+        payloads = data if isinstance(data, list) else [data]
+        return [ScenarioResult.from_dict(payload) for payload in payloads]
+    specs = get_preset(target).specs()
+    return ScenarioRunner().run_many(specs)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = _load_results(args.target)
+    for index, result in enumerate(results):
+        if index:
+            print()
+        baseline = args.baseline or next(iter(result.runs))
+        baseline_run = result.result_for(baseline)
+        rows = []
+        for name, run in result.runs.items():
+            if run.label == baseline_run.label:
+                continue
+            rows.append([
+                run.label,
+                format_percent(result.reduction(baseline, name)),
+                f"{baseline_run.latency.overall_mean_ms:.3f}",
+                f"{run.latency.overall_mean_ms:.3f}",
+            ])
+        if not rows:
+            print(f"Scenario '{result.spec.name}': nothing to compare against {baseline_run.label!r}")
+            continue
+        print(format_table(
+            ["Control plane", f"Workload reduction vs {baseline_run.label}",
+             "Baseline latency (ms)", "Latency (ms)"],
+            rows,
+            title=f"Scenario '{result.spec.name}'",
+        ))
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    preset_rows = []
+    for preset in list_presets():
+        specs = preset.specs()
+        preset_rows.append([preset.name, len(specs), preset.description])
+    print(format_table(["Preset", "Scenarios", "Description"], preset_rows, title="Presets"))
+    print()
+    plane_rows = [
+        [entry.name, entry.label, entry.description]
+        for entry in available_control_planes()
+    ]
+    print(format_table(["Name", "Label", "Description"], plane_rows, title="Registered control planes"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LazyCtrl reproduction: run declarative control-plane scenarios.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run a preset or a JSON scenario spec")
+    run.add_argument("scenario", help="preset name or path to a ScenarioSpec JSON file")
+    run.add_argument("--flows", type=int, default=None, help="override total flow count")
+    run.add_argument("--switches", type=int, default=None, help="override switch count")
+    run.add_argument("--hosts", type=int, default=None, help="override host count")
+    run.add_argument("--seed", type=int, default=None, help="override topology/traffic seed")
+    run.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
+    run.add_argument("--systems", default=None, help="comma-separated control-plane names")
+    run.add_argument("--workers", type=int, default=None, help="process fan-out for multi-scenario runs")
+    run.add_argument("--out", default=None, help="write results JSON to this path")
+    run.set_defaults(handler=_cmd_run)
+
+    compare = subparsers.add_parser("compare", help="compare runs from a results file or preset")
+    compare.add_argument("target", help="results JSON (from 'run --out') or preset name")
+    compare.add_argument("--baseline", default=None, help="baseline system name or label")
+    compare.set_defaults(handler=_cmd_compare)
+
+    list_cmd = subparsers.add_parser("list-scenarios", help="list presets and registered control planes")
+    list_cmd.set_defaults(handler=_cmd_list_scenarios)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, FileNotFoundError, KeyError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""JSON (de)serialization for the frozen config/spec dataclasses.
+
+Every declarative object in the library (topology profiles, trace profiles,
+``LazyCtrlConfig`` and the scenario specs built from them) is a frozen
+dataclass whose fields are scalars, tuples, enums or further such
+dataclasses.  That makes a single pair of generic converters sufficient:
+
+* :func:`to_jsonable` walks an object down to JSON-compatible primitives;
+* :func:`from_jsonable` rebuilds a typed object from that representation,
+  using the dataclass field annotations to pick nested constructors, coerce
+  JSON lists back into tuples and revive enums.
+
+The round trip is exact for every spec class: ``from_jsonable(cls,
+to_jsonable(obj)) == obj``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import types
+from typing import Any, Dict, Tuple, Union, get_args, get_origin, get_type_hints
+
+_HINT_CACHE: Dict[type, Dict[str, Any]] = {}
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Convert dataclasses/enums/tuples recursively into JSON-ready values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: to_jsonable(value) for key, value in obj.items()}
+    return obj
+
+
+def from_jsonable(annotation: Any, data: Any) -> Any:
+    """Rebuild a value of type ``annotation`` from its JSON representation."""
+    origin = get_origin(annotation)
+
+    if annotation is Any:
+        return data
+    if origin in (Union, types.UnionType):
+        members = [arg for arg in get_args(annotation) if arg is not type(None)]
+        if data is None:
+            return None
+        if len(members) != 1:
+            raise TypeError(f"cannot deserialize ambiguous union {annotation!r}")
+        return from_jsonable(members[0], data)
+    if data is None:
+        return None
+
+    if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
+        hints = _HINT_CACHE.get(annotation)
+        if hints is None:
+            hints = get_type_hints(annotation)
+            _HINT_CACHE[annotation] = hints
+        kwargs = {
+            field.name: from_jsonable(hints[field.name], data[field.name])
+            for field in dataclasses.fields(annotation)
+            if field.init and field.name in data
+        }
+        return annotation(**kwargs)
+
+    if origin in (list, tuple, dict):
+        args = get_args(annotation)
+        if origin is list:
+            return [from_jsonable(args[0] if args else Any, item) for item in data]
+        if origin is tuple:
+            if len(args) == 2 and args[1] is Ellipsis:
+                return tuple(from_jsonable(args[0], item) for item in data)
+            return tuple(from_jsonable(arg, item) for arg, item in zip(args, data))
+        key_type, value_type = args if args else (Any, Any)
+        return {
+            from_jsonable(key_type, key): from_jsonable(value_type, value)
+            for key, value in data.items()
+        }
+
+    if isinstance(annotation, type) and issubclass(annotation, enum.Enum):
+        return annotation(data)
+    if annotation is float and isinstance(data, (int, float)) and not isinstance(data, bool):
+        return float(data)
+    if annotation is int and isinstance(data, str):
+        return int(data)
+    return data
+
+
+def dataclass_to_dict(obj: Any) -> Dict[str, Any]:
+    """A dataclass instance as a plain JSON-ready dict."""
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"expected a dataclass instance, got {type(obj)!r}")
+    return to_jsonable(obj)
+
+
+def dataclass_from_dict(cls: type, data: Dict[str, Any]) -> Any:
+    """Rebuild a dataclass of type ``cls`` from :func:`dataclass_to_dict` output."""
+    return from_jsonable(cls, data)

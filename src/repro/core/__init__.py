@@ -1,15 +1,32 @@
-"""Core systems and the experiment harness (the paper's primary contribution, wired up)."""
+"""Core systems, the Scenario API and the experiment harness."""
 
-from repro.core.experiment import DayLongExperiment, DayLongExperimentResult, RunResult
+from repro.core.experiment import DayLongExperiment, DayLongExperimentResult
 from repro.core.latency_eval import ColdCacheExperiment, ColdCacheExperimentConfig
+from repro.core.presets import Preset, default_grouping_config, get_preset, list_presets
+from repro.core.registry import (
+    ControlPlane,
+    ControlPlaneEntry,
+    available_control_planes,
+    get_control_plane,
+    register_control_plane,
+    unregister_control_plane,
+)
 from repro.core.results import (
     ColdCacheResult,
     FlowHandlingResult,
     FlowPathKind,
     LatencySeriesResult,
+    RunResult,
     SystemCounters,
     WorkloadComparison,
     WorkloadSeriesResult,
+)
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario import (
+    FailureInjectionSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    TraceSpec,
 )
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
 
@@ -17,15 +34,31 @@ __all__ = [
     "ColdCacheExperiment",
     "ColdCacheExperimentConfig",
     "ColdCacheResult",
+    "ControlPlane",
+    "ControlPlaneEntry",
     "DayLongExperiment",
     "DayLongExperimentResult",
+    "FailureInjectionSpec",
     "FlowHandlingResult",
     "FlowPathKind",
     "LatencySeriesResult",
     "LazyCtrlSystem",
     "OpenFlowSystem",
+    "Preset",
     "RunResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScheduleSpec",
     "SystemCounters",
+    "TraceSpec",
     "WorkloadComparison",
     "WorkloadSeriesResult",
+    "available_control_planes",
+    "default_grouping_config",
+    "get_control_plane",
+    "get_preset",
+    "list_presets",
+    "register_control_plane",
+    "unregister_control_plane",
 ]

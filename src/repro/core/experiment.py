@@ -1,50 +1,32 @@
-"""Experiment runner reproducing the paper's evaluation scenarios.
+"""The legacy experiment harness, now a thin wrapper over the Scenario API.
 
-The central experiment (Figs. 7, 8 and 9) replays a day-long trace against
-four configurations:
-
-* the OpenFlow baseline,
-* LazyCtrl with a *static* grouping computed from the first hour of traffic,
-* LazyCtrl with *dynamic* grouping (incremental updates enabled),
-* optionally the same three on an *expanded* trace with 30 % extra flows.
-
-For each configuration the runner reports the controller workload per
-2-hour bucket (in Krps), the grouping-update frequency per hour, and the
-mean forwarding latency per 2-hour bucket.
+:class:`DayLongExperiment` reproduces the paper's central evaluation
+(Figs. 7, 8 and 9): replay a day-long trace against the OpenFlow baseline
+and the two LazyCtrl variants.  Since the scenario redesign it simply drives
+:class:`~repro.core.runner.ScenarioRunner.replay_system` with the three
+built-in registry entries (``"openflow"``, ``"lazyctrl-static"``,
+``"lazyctrl-dynamic"``); new code should prefer declaring a
+:class:`~repro.core.scenario.ScenarioSpec` and running it through
+:class:`~repro.core.runner.ScenarioRunner` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.common.config import LazyCtrlConfig
-from repro.core.results import (
-    LatencySeriesResult,
-    SystemCounters,
-    WorkloadComparison,
-    WorkloadSeriesResult,
-)
-from repro.core.system import LazyCtrlSystem, OpenFlowSystem
-from repro.traffic.replay import TraceReplayer
+from repro.core.results import RunResult, WorkloadComparison
+from repro.core.scenario import ScheduleSpec
+from repro.core.runner import ScenarioRunner
 from repro.traffic.trace import Trace
 
-
-@dataclass(frozen=True, slots=True)
-class RunResult:
-    """Everything measured for one (system, trace) combination."""
-
-    label: str
-    workload: WorkloadSeriesResult
-    latency: LatencySeriesResult
-    updates_per_hour: List[float]
-    counters: SystemCounters
-    total_controller_requests: int
+__all__ = ["DayLongExperiment", "DayLongExperimentResult", "RunResult"]
 
 
 @dataclass(frozen=True, slots=True)
 class DayLongExperimentResult:
-    """The results of the full Fig. 7/8/9 experiment."""
+    """The results of the full Fig. 7/8/9 experiment, keyed by display label."""
 
     runs: Dict[str, RunResult]
 
@@ -79,50 +61,34 @@ class DayLongExperiment:
         self.duration_hours = duration_hours
         self.bucket_hours = bucket_hours
         self.periodic_interval_seconds = periodic_interval_seconds
+        self._runner = ScenarioRunner()
+
+    @property
+    def schedule(self) -> ScheduleSpec:
+        """The replay schedule these parameters describe."""
+        return ScheduleSpec(
+            warmup_hours=self.warmup_hours,
+            duration_hours=self.duration_hours,
+            bucket_hours=self.bucket_hours,
+            periodic_interval_seconds=self.periodic_interval_seconds,
+        )
 
     # -- single runs ----------------------------------------------------------------
 
     def run_openflow(self, *, label: str = "OpenFlow") -> RunResult:
         """Replay the trace against the reactive OpenFlow baseline."""
-        bucket_seconds = self.bucket_hours * 3600.0
-        system = OpenFlowSystem(
-            self.trace.network,
-            config=self.config,
-            workload_bucket_seconds=bucket_seconds,
-            latency_bucket_seconds=bucket_seconds,
+        return self._runner.replay_system(
+            "openflow", self.trace, schedule=self.schedule, config=self.config, label=label
         )
-        replayer = TraceReplayer(
-            self.trace, system, periodic_interval=self.periodic_interval_seconds, periodic_callbacks=[system.periodic]
-        )
-        replayer.replay(start=0.0, end=self.duration_hours * 3600.0)
-        return self._collect(label, system.controller.workload_series, system.latency_recorder, [], system.counters, system.controller.total_requests)
 
     def run_lazyctrl(self, *, dynamic: bool, label: Optional[str] = None) -> RunResult:
         """Replay the trace against LazyCtrl (static or dynamic grouping)."""
-        bucket_seconds = self.bucket_hours * 3600.0
-        system = LazyCtrlSystem(
-            self.trace.network,
+        return self._runner.replay_system(
+            "lazyctrl-dynamic" if dynamic else "lazyctrl-static",
+            self.trace,
+            schedule=self.schedule,
             config=self.config,
-            dynamic_grouping=dynamic,
-            workload_bucket_seconds=bucket_seconds,
-            latency_bucket_seconds=bucket_seconds,
-        )
-        # The initial grouping is computed from the first warm-up hour of the
-        # trace, exactly as in the paper's setup.
-        system.install_initial_grouping(self.trace, warmup_end=self.warmup_hours * 3600.0)
-        replayer = TraceReplayer(
-            self.trace, system, periodic_interval=self.periodic_interval_seconds, periodic_callbacks=[system.periodic]
-        )
-        replayer.replay(start=0.0, end=self.duration_hours * 3600.0)
-        updates = system.controller.grouping_manager.updates_per_hour(hours=int(self.duration_hours))
-        run_label = label or ("LazyCtrl (dynamic)" if dynamic else "LazyCtrl (static)")
-        return self._collect(
-            run_label,
-            system.controller.workload_series,
-            system.latency_recorder,
-            updates,
-            system.counters,
-            system.controller.total_requests,
+            label=label,
         )
 
     # -- the full experiment -----------------------------------------------------------
@@ -139,41 +105,3 @@ class DayLongExperiment:
             dynamic = self.run_lazyctrl(dynamic=True)
             runs[dynamic.label] = dynamic
         return DayLongExperimentResult(runs=runs)
-
-    # -- helpers --------------------------------------------------------------------------
-
-    def _collect(
-        self,
-        label: str,
-        workload_series,
-        latency_recorder,
-        updates_per_hour: List[float],
-        counters: SystemCounters,
-        total_requests: int,
-    ) -> RunResult:
-        bucket_count = max(1, int(round(self.duration_hours / self.bucket_hours)))
-        bucket_seconds = self.bucket_hours * 3600.0
-        # Requests per bucket -> requests/second -> thousands of requests per
-        # second (the paper's Krps axis).
-        krps = [
-            count / bucket_seconds / 1000.0
-            for _, count in workload_series.series(bucket_range=(0, bucket_count))
-        ]
-        latency_series = [
-            latency_recorder.bucket_mean(index) for index in range(bucket_count)
-        ]
-        workload = WorkloadSeriesResult(label=label, bucket_hours=self.bucket_hours, krps=krps)
-        latency = LatencySeriesResult(
-            label=label,
-            bucket_hours=self.bucket_hours,
-            mean_latency_ms=latency_series,
-            overall_mean_ms=latency_recorder.overall_mean(),
-        )
-        return RunResult(
-            label=label,
-            workload=workload,
-            latency=latency,
-            updates_per_hour=updates_per_hour,
-            counters=counters,
-            total_controller_requests=total_requests,
-        )

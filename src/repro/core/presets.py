@@ -1,0 +1,155 @@
+"""Named scenario presets for the CLI and for quick programmatic runs.
+
+A preset bundles one or more ready-to-run :class:`~repro.core.scenario.ScenarioSpec`
+under a memorable name:
+
+* ``paper-fig7`` — the paper's Fig. 7/8/9 day-long replay (OpenFlow vs both
+  LazyCtrl variants) at laptop scale;
+* ``paper-fig7-expanded`` — the same replay on the §V-D expanded trace
+  (+30 % flows among previously silent pairs);
+* ``failover`` — a failover storm: designated-switch failures injected at
+  two points of the day while the trace replays;
+* ``scale-sweep`` — the same workload density at three topology scales, a
+  natural ``run_many`` fan-out.
+
+Presets are deliberately sized to finish in seconds-to-minutes on a laptop;
+scale any of them up by overriding the spec fields (the CLI exposes
+``--flows`` / ``--switches`` / ``--hosts`` for exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.config import GroupingConfig, LazyCtrlConfig
+from repro.common.errors import ConfigurationError
+from repro.core.scenario import (
+    FailureInjectionSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    TraceSpec,
+)
+from repro.topology.builder import TopologyProfile
+from repro.traffic.realistic import RealisticTraceProfile
+
+
+@dataclass(frozen=True, slots=True)
+class Preset:
+    """A named bundle of scenario specs."""
+
+    name: str
+    description: str
+    build: Callable[[], Tuple[ScenarioSpec, ...]]
+
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        """Materialize the preset's scenario specs."""
+        return self.build()
+
+
+def default_grouping_config(switch_count: int, *, seed: int = 2015) -> LazyCtrlConfig:
+    """A grouping config that keeps roughly half a dozen groups at any scale.
+
+    Small topologies would otherwise collapse into one or two groups and
+    never exercise inter-group traffic, which exists at the paper's full
+    scale; presets and :func:`repro.quickstart` share this heuristic.
+    """
+    return LazyCtrlConfig(
+        grouping=GroupingConfig(group_size_limit=max(4, switch_count // 6), random_seed=seed)
+    )
+
+
+def _paper_fig7() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="paper-fig7",
+            topology=TopologyProfile(switch_count=48, host_count=600, seed=2015),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=20_000, seed=2015)),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(48),
+        ),
+    )
+
+
+def _paper_fig7_expanded() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="paper-fig7-expanded",
+            topology=TopologyProfile(switch_count=48, host_count=600, seed=2015),
+            traffic=TraceSpec(
+                realistic=RealisticTraceProfile(total_flows=20_000, seed=2015),
+                expand_fraction=0.30,
+            ),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(48),
+        ),
+    )
+
+
+def _failover() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="failover",
+            topology=TopologyProfile(switch_count=24, host_count=320, seed=23),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=23)),
+            systems=("openflow", "lazyctrl-dynamic"),
+            config=default_grouping_config(24, seed=23),
+            failures=FailureInjectionSpec(at_hours=(6.0, 14.0), switches_per_event=2),
+        ),
+    )
+
+
+def _scale_sweep() -> Tuple[ScenarioSpec, ...]:
+    scales = ((16, 200, 6_000), (32, 400, 12_000), (64, 800, 24_000))
+    return tuple(
+        ScenarioSpec(
+            name=f"scale-sweep-{switches}sw",
+            topology=TopologyProfile(switch_count=switches, host_count=hosts, seed=2015),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=flows, seed=2015)),
+            systems=("openflow", "lazyctrl-dynamic"),
+            schedule=ScheduleSpec(),
+            config=default_grouping_config(switches),
+        )
+        for switches, hosts, flows in scales
+    )
+
+
+_PRESETS: Dict[str, Preset] = {
+    preset.name: preset
+    for preset in (
+        Preset(
+            name="paper-fig7",
+            description="Fig. 7/8/9 day-long replay: OpenFlow vs LazyCtrl static/dynamic (laptop scale)",
+            build=_paper_fig7,
+        ),
+        Preset(
+            name="paper-fig7-expanded",
+            description="Same replay on the expanded trace (+30% flows among silent pairs, paper §V-D)",
+            build=_paper_fig7_expanded,
+        ),
+        Preset(
+            name="failover",
+            description="Failover storm: designated-switch failures injected at hours 6 and 14",
+            build=_failover,
+        ),
+        Preset(
+            name="scale-sweep",
+            description="Same workload density at 16/32/64 switches — a run_many fan-out",
+            build=_scale_sweep,
+        ),
+    )
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look a preset up by name."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigurationError(f"unknown preset {name!r}; available presets: {known}") from None
+
+
+def list_presets() -> List[Preset]:
+    """All presets, sorted by name."""
+    return [_PRESETS[name] for name in sorted(_PRESETS)]

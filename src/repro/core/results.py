@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
 
 
 class FlowPathKind(enum.Enum):
@@ -100,6 +102,28 @@ class LatencySeriesResult:
     bucket_hours: float
     mean_latency_ms: List[float]
     overall_mean_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Everything measured for one (control plane, trace) combination."""
+
+    label: str
+    workload: WorkloadSeriesResult
+    latency: LatencySeriesResult
+    updates_per_hour: List[float]
+    counters: SystemCounters
+    total_controller_requests: int
+    failover_events: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation of this run."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a run from :meth:`to_dict` output."""
+        return dataclass_from_dict(cls, data)
 
 
 @dataclass(frozen=True, slots=True)

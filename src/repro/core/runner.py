@@ -1,0 +1,250 @@
+"""The scenario runner: one entry point for every experiment shape.
+
+:class:`ScenarioRunner` materializes a :class:`~repro.core.scenario.ScenarioSpec`
+(topology, trace), instantiates each selected control plane through the
+registry, replays the trace, and collects a serializable
+:class:`ScenarioResult`.  ``run_many`` fans independent scenarios out over a
+process pool, which is how sweeps (scale, config, traffic mix) use every
+core.
+
+The lower-level :meth:`ScenarioRunner.replay_system` drives one registered
+control plane over an already-built trace; the legacy
+:class:`~repro.core.experiment.DayLongExperiment` is a thin wrapper over it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.config import LazyCtrlConfig
+from repro.core.registry import ControlPlane, get_control_plane
+from repro.core.results import (
+    LatencySeriesResult,
+    RunResult,
+    WorkloadComparison,
+    WorkloadSeriesResult,
+)
+from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All runs of one scenario, keyed by control-plane registry name."""
+
+    spec: ScenarioSpec
+    runs: Dict[str, RunResult]
+
+    # -- lookups -------------------------------------------------------------
+
+    def result_for(self, system: str) -> RunResult:
+        """The run for a control plane, accepted by registry name or label."""
+        if system in self.runs:
+            return self.runs[system]
+        for run in self.runs.values():
+            if run.label == system:
+                return run
+        known = ", ".join(f"{name} ({run.label})" for name, run in self.runs.items())
+        raise KeyError(f"no run for {system!r}; available: {known}")
+
+    def labels(self) -> List[str]:
+        """Display labels of all runs, in spec order."""
+        return [run.label for run in self.runs.values()]
+
+    # -- comparisons ---------------------------------------------------------
+
+    def workload_comparison(self, baseline: str, other: str) -> WorkloadComparison:
+        """Controller-workload comparison between two runs."""
+        return WorkloadComparison(
+            baseline=self.result_for(baseline).workload,
+            lazyctrl=self.result_for(other).workload,
+        )
+
+    def reduction(self, baseline: str, other: str) -> float:
+        """Overall controller-workload reduction of ``other`` vs ``baseline``."""
+        return self.workload_comparison(baseline, other).reduction_fraction()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation of spec and runs."""
+        return {
+            "spec": self.spec.to_dict(),
+            "runs": {name: run.to_dict() for name, run in self.runs.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            runs={name: RunResult.from_dict(run) for name, run in data["runs"].items()},
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write this result to ``path`` as JSON and return the path."""
+        target = Path(path)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioResult":
+        """Load a result previously written with :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class _FailureInjector:
+    """Periodic callback that fires the spec's failure storms on schedule."""
+
+    def __init__(self, plane: ControlPlane, spec: FailureInjectionSpec) -> None:
+        self._plane = plane
+        self._spec = spec
+        self._pending = sorted(hour * 3600.0 for hour in spec.at_hours)
+        self.events = 0
+
+    def __call__(self, now: float) -> None:
+        while self._pending and now >= self._pending[0]:
+            self._pending.pop(0)
+            self._plane.inject_failures(count=self._spec.switches_per_event, now=now)
+            self.events += 1
+
+
+class ScenarioRunner:
+    """Runs declarative scenarios against registered control planes."""
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Materialize ``spec`` and run every selected control plane on it."""
+        # Resolve every name up front so a typo fails before minutes of replay.
+        entries = [get_control_plane(name) for name in spec.systems]
+        network = spec.build_network()
+        trace = spec.build_trace(network)
+        runs: Dict[str, RunResult] = {}
+        for entry in entries:
+            runs[entry.name] = self.replay_system(
+                entry.name,
+                trace,
+                schedule=spec.schedule,
+                config=spec.config,
+                failures=spec.failures,
+            )
+        return ScenarioResult(spec=spec, runs=runs)
+
+    def run_many(
+        self,
+        specs: Iterable[ScenarioSpec],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        """Run independent scenarios, fanned out over ``workers`` processes.
+
+        With ``workers`` of ``None``/``0``/``1`` (or a single spec) the
+        scenarios run serially in this process.  The fan-out uses fork-start
+        processes where available so control planes registered by the calling
+        program remain visible to the workers.
+        """
+        spec_list = list(specs)
+        if workers is not None and workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if not spec_list:
+            return []
+        if workers in (None, 0, 1) or len(spec_list) == 1:
+            return [self.run(spec) for spec in spec_list]
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - Windows/macOS spawn fallback
+            context = multiprocessing.get_context()
+        payloads = [spec.to_dict() for spec in spec_list]
+        with context.Pool(processes=min(workers, len(spec_list))) as pool:
+            results = pool.map(_run_spec_payload, payloads)
+        return [ScenarioResult.from_dict(result) for result in results]
+
+    # -- single-system replay -------------------------------------------------
+
+    def replay_system(
+        self,
+        system: str,
+        trace: Trace,
+        *,
+        schedule: ScheduleSpec | None = None,
+        config: LazyCtrlConfig | None = None,
+        label: Optional[str] = None,
+        failures: Optional[FailureInjectionSpec] = None,
+    ) -> RunResult:
+        """Drive one registered control plane over an already-built trace."""
+        entry = get_control_plane(system)
+        schedule = schedule or ScheduleSpec()
+        plane = entry.build(
+            trace.network,
+            config=config,
+            workload_bucket_seconds=schedule.bucket_seconds,
+            latency_bucket_seconds=schedule.bucket_seconds,
+        )
+        plane.prepare(trace, warmup_end=schedule.warmup_seconds)
+
+        callbacks = [plane.periodic]
+        injector: Optional[_FailureInjector] = None
+        if failures is not None and hasattr(plane, "inject_failures"):
+            injector = _FailureInjector(plane, failures)
+            callbacks.append(injector)
+
+        replayer = TraceReplayer(
+            trace,
+            plane,
+            periodic_interval=schedule.periodic_interval_seconds,
+            periodic_callbacks=callbacks,
+        )
+        replayer.replay(start=0.0, end=schedule.duration_seconds)
+        return self._collect(entry.label if label is None else label, plane, schedule, injector)
+
+    # -- result collection -----------------------------------------------------
+
+    @staticmethod
+    def _collect(
+        label: str,
+        plane: ControlPlane,
+        schedule: ScheduleSpec,
+        injector: Optional[_FailureInjector] = None,
+    ) -> RunResult:
+        # Ceil so a partial final bucket is reported rather than dropped
+        # (its rate is still averaged over a full bucket width).
+        bucket_count = max(1, math.ceil(schedule.duration_hours / schedule.bucket_hours))
+        # A fractional duration (say 1.5 h) still covers two hour buckets of
+        # grouping updates, so round the hour count up rather than truncating.
+        hours = max(1, math.ceil(schedule.duration_hours))
+        # Requests per bucket -> requests/second -> thousands of requests per
+        # second (the paper's Krps axis).
+        krps = [
+            count / schedule.bucket_seconds / 1000.0
+            for _, count in plane.workload_series().series(bucket_range=(0, bucket_count))
+        ]
+        latency_series = [
+            plane.latency_recorder.bucket_mean(index) for index in range(bucket_count)
+        ]
+        return RunResult(
+            label=label,
+            workload=WorkloadSeriesResult(label=label, bucket_hours=schedule.bucket_hours, krps=krps),
+            latency=LatencySeriesResult(
+                label=label,
+                bucket_hours=schedule.bucket_hours,
+                mean_latency_ms=latency_series,
+                overall_mean_ms=plane.latency_recorder.overall_mean(),
+            ),
+            updates_per_hour=plane.updates_per_hour(hours=hours),
+            counters=plane.counters,
+            total_controller_requests=plane.total_controller_requests(),
+            failover_events=injector.events if injector is not None else 0,
+        )
+
+
+def _run_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side body of :meth:`ScenarioRunner.run_many` (module-level for pickling)."""
+    result = ScenarioRunner().run(ScenarioSpec.from_dict(payload))
+    return result.to_dict()

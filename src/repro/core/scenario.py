@@ -1,0 +1,212 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` fully describes one experiment without holding any
+live objects: the topology to build, the trace to generate over it, which
+registered control planes to drive, the replay schedule, the system
+configuration, and (optionally) a failure-injection plan.  Specs are frozen,
+comparable and JSON-round-trippable (``ScenarioSpec.from_dict(spec.to_dict())
+== spec``), so they can be stored next to results, shipped to worker
+processes, and diffed between runs.
+
+The spec family reuses the existing declarative profiles —
+:class:`~repro.topology.builder.TopologyProfile`,
+:class:`~repro.traffic.realistic.RealisticTraceProfile`,
+:class:`~repro.traffic.synthetic.SyntheticTraceSpec` and
+:class:`~repro.common.config.LazyCtrlConfig` — rather than duplicating their
+knobs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.config import LazyCtrlConfig
+from repro.common.errors import ConfigurationError
+from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
+from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.expand import expand_trace
+from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.synthetic import SyntheticTraceGenerator, SyntheticTraceSpec
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSpec:
+    """When the replay starts, ends, and how results are bucketed."""
+
+    warmup_hours: float = 1.0
+    duration_hours: float = 24.0
+    bucket_hours: float = 2.0
+    periodic_interval_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.warmup_hours < 0:
+            raise ConfigurationError("warmup_hours must be non-negative")
+        if self.duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        if self.bucket_hours <= 0:
+            raise ConfigurationError("bucket_hours must be positive")
+        if self.periodic_interval_seconds <= 0:
+            raise ConfigurationError("periodic_interval_seconds must be positive")
+
+    @property
+    def duration_seconds(self) -> float:
+        """Replay window length in seconds."""
+        return self.duration_hours * 3600.0
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Warm-up window length in seconds."""
+        return self.warmup_hours * 3600.0
+
+    @property
+    def bucket_seconds(self) -> float:
+        """Result bucket width in seconds."""
+        return self.bucket_hours * 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpec:
+    """Which trace to generate: real-like, synthetic (p/q), plus expansion.
+
+    ``kind`` selects the generator: ``"realistic"`` uses the day-long
+    enterprise-trace substitute, ``"synthetic"`` the paper's p/q
+    construction (``synthetic`` must then be set).  A positive
+    ``expand_fraction`` additionally applies the §V-D "extra flows among
+    previously silent pairs" expansion to the generated trace.
+    """
+
+    kind: str = "realistic"
+    realistic: RealisticTraceProfile = field(default_factory=RealisticTraceProfile)
+    synthetic: Optional[SyntheticTraceSpec] = None
+    expand_fraction: float = 0.0
+    expand_window_hours: Tuple[float, float] = (8.0, 24.0)
+    expand_seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("realistic", "synthetic"):
+            raise ConfigurationError("trace kind must be 'realistic' or 'synthetic'")
+        if self.kind == "synthetic" and self.synthetic is None:
+            raise ConfigurationError("a synthetic trace spec requires the 'synthetic' profile")
+        if not 0.0 <= self.expand_fraction <= 5.0:
+            raise ConfigurationError("expand_fraction must be in [0, 5]")
+        start, end = self.expand_window_hours
+        if end <= start:
+            raise ConfigurationError("expand_window_hours must have positive length")
+        object.__setattr__(self, "expand_window_hours", (float(start), float(end)))
+
+    def build(self, network: DataCenterNetwork, *, name: str = "scenario") -> Trace:
+        """Generate the trace this spec describes over ``network``."""
+        if self.kind == "synthetic":
+            trace = SyntheticTraceGenerator(network).generate(self.synthetic)
+        else:
+            trace = RealisticTraceGenerator(network, self.realistic).generate(name=name)
+        if self.expand_fraction > 0.0:
+            start, end = self.expand_window_hours
+            trace = expand_trace(
+                trace,
+                extra_fraction=self.expand_fraction,
+                window_start_hour=start,
+                window_end_hour=end,
+                seed=self.expand_seed,
+            )
+        return trace
+
+
+@dataclass(frozen=True, slots=True)
+class FailureInjectionSpec:
+    """A failure-storm plan: when to fail switches, and how many at once.
+
+    At each hour in ``at_hours`` the runner fails the designated switch of
+    the ``switches_per_event`` busiest Local Control Groups and drives the
+    detection wheel plus the recovery actions (§III-E).  Control planes
+    without failover machinery simply ignore the plan.
+    """
+
+    at_hours: Tuple[float, ...] = (8.0,)
+    switches_per_event: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.at_hours:
+            raise ConfigurationError("at_hours must list at least one injection time")
+        if any(hour < 0 for hour in self.at_hours):
+            raise ConfigurationError("injection hours must be non-negative")
+        if self.switches_per_event < 1:
+            raise ConfigurationError("switches_per_event must be at least 1")
+        object.__setattr__(self, "at_hours", tuple(float(hour) for hour in self.at_hours))
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """A fully declarative description of one experiment."""
+
+    name: str
+    topology: TopologyProfile = field(
+        default_factory=lambda: TopologyProfile(switch_count=48, host_count=600)
+    )
+    traffic: TraceSpec = field(default_factory=TraceSpec)
+    systems: Tuple[str, ...] = ("openflow", "lazyctrl-static", "lazyctrl-dynamic")
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    config: LazyCtrlConfig = field(default_factory=LazyCtrlConfig)
+    failures: Optional[FailureInjectionSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ConfigurationError("scenario name must be a non-empty string")
+        if isinstance(self.systems, str):
+            raise ConfigurationError(
+                "systems must be a sequence of names, e.g. ('openflow',), not a bare string"
+            )
+        systems = tuple(self.systems)
+        if not systems:
+            raise ConfigurationError("a scenario must select at least one control plane")
+        if any(not isinstance(system, str) or not system for system in systems):
+            raise ConfigurationError("control-plane names must be non-empty strings")
+        if len(set(systems)) != len(systems):
+            raise ConfigurationError("systems must not contain duplicate control-plane names")
+        object.__setattr__(self, "systems", systems)
+
+    # -- materialization -----------------------------------------------------
+
+    def build_network(self) -> DataCenterNetwork:
+        """Build the data-center topology this spec describes."""
+        return build_multi_tenant_datacenter(self.topology)
+
+    def build_trace(self, network: DataCenterNetwork) -> Trace:
+        """Generate the trace this spec describes over ``network``."""
+        return self.traffic.build(network, name=self.name)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation of this spec."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return dataclass_from_dict(cls, data)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """This spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from a JSON document."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write this spec to ``path`` as JSON and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -10,7 +10,7 @@ of the flow.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.config import LazyCtrlConfig
 from repro.common.packets import make_data_packet
@@ -51,6 +51,7 @@ class LazyCtrlSystem:
         self.latency_model = LatencyModel(self.config.latency)
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
+        self.failover_records: List = []
 
         for info in network.switches():
             switch = LazyCtrlEdgeSwitch(
@@ -174,6 +175,53 @@ class LazyCtrlSystem:
         self.controller.collect_state_reports(now=now)
         self.controller.periodic_check(now)
 
+    # -- ControlPlane protocol (runner-facing) ------------------------------------------
+
+    def prepare(self, trace, *, warmup_end: float, now: float = 0.0) -> None:
+        """Provision the initial grouping from the trace's warm-up window."""
+        self.install_initial_grouping(trace, warmup_end=warmup_end, now=now)
+
+    def workload_series(self):
+        """Controller requests bucketed over simulation time."""
+        return self.controller.workload_series
+
+    def total_controller_requests(self) -> int:
+        """Total requests the lazy controller served."""
+        return self.controller.total_requests
+
+    def updates_per_hour(self, *, hours: int) -> List[float]:
+        """Grouping updates per hour bucket (Fig. 8)."""
+        return self.controller.grouping_manager.updates_per_hour(hours=hours)
+
+    # -- failure injection -------------------------------------------------------------
+
+    def inject_failures(self, *, count: int = 1, now: float = 0.0) -> List:
+        """Fail the designated switch of the ``count`` largest groups.
+
+        Each victim goes through the full §III-E cycle: the keep-alive wheel
+        detects the failure, the failover manager promotes a backup and
+        issues the remote reboot, and the switch then comes back and
+        re-synchronizes group state.  Returns the recovery records and
+        appends them to :attr:`failover_records`.
+        """
+        from repro.failover.detection import FailureDetector
+        from repro.failover.recovery import FailoverManager
+
+        records: List = []
+        groups = sorted(self.controller.groups.values(), key=len, reverse=True)
+        for group in groups[:count]:
+            if len(group) < 2 or not group.backup_switch_ids:
+                continue
+            victim = group.designated_switch_id
+            group.member(victim).failed = True
+            detector = FailureDetector(group, keepalive_interval=self.config.keepalive_interval_seconds)
+            manager = FailoverManager(self.controller, group)
+            records.extend(manager.handle_all(detector.detect(now=now), now=now))
+            group.member(victim).failed = False
+            records.extend(manager.complete_switch_recovery(victim, now=now))
+        self.failover_records.extend(records)
+        return records
+
 
 class OpenFlowSystem:
     """The baseline: every flow set up reactively by the central controller."""
@@ -270,3 +318,20 @@ class OpenFlowSystem:
 
     def periodic(self, now: float) -> None:
         """The baseline has no periodic control-plane housekeeping to run."""
+
+    # -- ControlPlane protocol (runner-facing) -----------------------------------------
+
+    def prepare(self, trace, *, warmup_end: float, now: float = 0.0) -> None:
+        """The reactive baseline needs no warm-up provisioning."""
+
+    def workload_series(self):
+        """Controller requests bucketed over simulation time."""
+        return self.controller.workload_series
+
+    def total_controller_requests(self) -> int:
+        """Total requests the central controller served."""
+        return self.controller.total_requests
+
+    def updates_per_hour(self, *, hours: int) -> List[float]:
+        """The baseline never regroups; every hour bucket is zero."""
+        return [0.0] * max(0, hours)

@@ -71,16 +71,27 @@ class TraceReplayer:
     def replay(self, *, start: float = 0.0, end: Optional[float] = None) -> ReplayProgress:
         """Replay the trace window ``[start, end)`` in time order.
 
+        With ``end=None`` the window is clamped to the trace duration: every
+        remaining flow is replayed (the last arrival inclusive) and no
+        periodic tick fires past the last arrival.
+
         Periodic callbacks fire at every multiple of the configured interval
         that falls inside the window, interleaved correctly with flow
         arrivals (callbacks scheduled at time T fire before flows arriving at
         or after T).
         """
-        window_end = end if end is not None else self._trace.duration + 1.0
+        if end is None:
+            window_end = self._trace.duration
+            # [start, duration) would exclude flows arriving exactly at the
+            # trace's last timestamp, so select with an open-ended window.
+            flows = self._trace.window(start, float("inf"))
+        else:
+            window_end = end
+            flows = self._trace.window(start, end)
         progress = ReplayProgress(start_time=start, end_time=window_end)
         next_tick = start + self._interval
 
-        for flow in self._trace.window(start, window_end):
+        for flow in flows:
             while next_tick <= flow.start_time:
                 self._fire_periodic(next_tick, progress)
                 next_tick += self._interval

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.runner import ScenarioResult
+from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.topology.builder import TopologyProfile
+from repro.traffic.realistic import RealisticTraceProfile
+
+RUN_SMALL = [
+    "--flows", "400",
+    "--switches", "8",
+    "--hosts", "60",
+    "--duration-hours", "2",
+]
+
+
+class TestListScenarios:
+    def test_exits_zero_and_lists_everything(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-fig7" in out
+        assert "lazyctrl-dynamic" in out
+
+
+class TestRun:
+    def test_preset_run_exits_zero(self, capsys):
+        assert main(["run", "paper-fig7", *RUN_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "OpenFlow" in out
+        assert "LazyCtrl (dynamic)" in out
+
+    def test_run_writes_results_json(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert list(result.runs) == ["openflow"]
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec = ScenarioSpec(
+            name="from-file",
+            topology=TopologyProfile(switch_count=8, host_count=60, seed=9),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=300, seed=9)),
+            systems=("openflow",),
+            schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
+        )
+        path = spec.save(tmp_path / "spec.json")
+        assert main(["run", str(path)]) == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_unknown_preset_fails(self, capsys):
+        assert main(["run", "no-such-preset"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_saved_results(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Workload reduction vs OpenFlow" in out
+
+    def test_compare_with_explicit_baseline(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_path), "--baseline", "lazyctrl-static"]) == 0
+        assert "LazyCtrl (static)" in capsys.readouterr().out
+
+    def test_compare_missing_file_fails(self, capsys):
+        assert main(["compare", "/definitely/not/here.json"]) == 2

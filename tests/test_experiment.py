@@ -57,6 +57,14 @@ class TestDayLongExperiment:
         lazy = WorkloadSeriesResult(label="lazy", bucket_hours=2.0, krps=[0.0])
         assert WorkloadComparison(baseline=empty, lazyctrl=lazy).reduction_fraction() == 0.0
 
+    def test_fractional_duration_reports_all_update_hours(self, small_trace, small_config):
+        """Regression: duration_hours=1.5 used to truncate to 1 hour of updates."""
+        experiment = DayLongExperiment(
+            small_trace, config=small_config, duration_hours=1.5, bucket_hours=1.5
+        )
+        run = experiment.run_lazyctrl(dynamic=True)
+        assert len(run.updates_per_hour) == 2
+
 
 class TestColdCacheExperiment:
     @pytest.fixture(scope="class")

@@ -162,3 +162,50 @@ class TestReplayer:
         progress = TraceReplayer(trace, _RecordingSink(), periodic_interval=10.0).replay(start=0.0, end=30.0)
         assert progress.duration == 30.0
         assert progress.periodic_invocations == 3
+
+    def test_default_window_clamped_to_trace_duration(self, tiny_network):
+        """end=None must not inflate the window or fire a tick past the trace."""
+        trace = Trace("t", tiny_network, [flow(0.0, 0, 1, 0), flow(250.0, 0, 1, 1)])
+        sink = _RecordingSink()
+        ticks = []
+        replayer = TraceReplayer(trace, sink, periodic_interval=100.0, periodic_callbacks=[ticks.append])
+        progress = replayer.replay()
+        assert progress.end_time == 250.0
+        assert progress.duration == 250.0
+        # The flow arriving exactly at the trace's last timestamp is replayed,
+        # and no tick fires past 250 s (300 s used to fire spuriously).
+        assert [fid for fid, _ in sink.seen] == [0, 1]
+        assert ticks == [100.0, 200.0]
+
+    def test_tick_landing_exactly_on_flow_start_fires_first(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(100.0, 0, 1, 1)])
+        events = []
+        sink = _RecordingSink()
+        sink.handle_flow_arrival = lambda f, now: events.append(("flow", now))
+        replayer = TraceReplayer(
+            trace, sink, periodic_interval=100.0, periodic_callbacks=[lambda now: events.append(("tick", now))]
+        )
+        replayer.replay(start=0.0, end=200.0)
+        assert events == [("tick", 100.0), ("flow", 100.0), ("tick", 200.0)]
+
+    def test_empty_window_replays_nothing(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(float(i), 0, 1, i) for i in range(5)])
+        sink = _RecordingSink()
+        ticks = []
+        replayer = TraceReplayer(trace, sink, periodic_interval=10.0, periodic_callbacks=[ticks.append])
+        progress = replayer.replay(start=100.0, end=100.0)
+        assert progress.flows_replayed == 0
+        assert progress.periodic_invocations == 0
+        assert progress.duration == 0.0
+        assert ticks == []
+
+    def test_periodic_invocations_counts_ticks_not_callbacks(self, tiny_network):
+        trace = Trace("t", tiny_network, [])
+        first, second = [], []
+        replayer = TraceReplayer(
+            trace, _RecordingSink(), periodic_interval=50.0, periodic_callbacks=[first.append, second.append]
+        )
+        progress = replayer.replay(start=0.0, end=150.0)
+        # Three tick times, two callbacks each: 3 invocations, not 6 (and not 2).
+        assert progress.periodic_invocations == 3
+        assert first == second == [50.0, 100.0, 150.0]
