@@ -8,7 +8,7 @@ _README = Path(__file__).parent / "README.md"
 
 setup(
     name="lazyctrl-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'LazyCtrl: Scalable Network Control for Cloud Data Centers' "
         "(ICDCS 2015): hybrid control plane, switch grouping, scenario runner and CLI"

@@ -28,6 +28,7 @@ The legacy helpers remain: :func:`quickstart` runs the headline comparison
 in one call, and :class:`DayLongExperiment` drives a pre-built trace.
 """
 
+from repro.churn.spec import ChurnSpec
 from repro.common.config import LazyCtrlConfig
 from repro.core.experiment import DayLongExperiment, DayLongExperimentResult
 from repro.core.presets import Preset, get_preset, list_presets
@@ -50,9 +51,10 @@ from repro.partitioning.sgi import Grouping, SgiGrouper
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
 from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ChurnSpec",
     "ControlPlane",
     "ControlPlaneEntry",
     "DayLongExperiment",

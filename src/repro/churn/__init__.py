@@ -1,0 +1,33 @@
+"""Workload-dynamics (churn) subsystem.
+
+Schedules VM migrations, traffic-locality drift and tenant lifecycle events
+onto the simulation engine during a replay, so LazyCtrl's dynamic regrouping
+is exercised by *topology* dynamics rather than only by traffic noise.
+"""
+
+from repro.churn.processes import (
+    ChurnProcess,
+    ChurnTarget,
+    DriftProcess,
+    MigrationProcess,
+    TenantLifecycleProcess,
+    build_processes,
+    poisson_event_times,
+)
+from repro.churn.results import ChurnRunResult
+from repro.churn.scheduler import ChurnScheduler, ChurnStats
+from repro.churn.spec import ChurnSpec
+
+__all__ = [
+    "ChurnProcess",
+    "ChurnRunResult",
+    "ChurnScheduler",
+    "ChurnSpec",
+    "ChurnStats",
+    "ChurnTarget",
+    "DriftProcess",
+    "MigrationProcess",
+    "TenantLifecycleProcess",
+    "build_processes",
+    "poisson_event_times",
+]

@@ -1,0 +1,38 @@
+"""The serializable churn summary attached to a run result.
+
+Lives in the churn package (below the core layer) so both the churn
+scheduler and :mod:`repro.core.results` can use it without an import cycle;
+:class:`~repro.core.results.RunResult` re-exports it as part of the result
+family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnRunResult:
+    """Workload-dynamics (churn) applied to one run, bucketed like the workload.
+
+    ``per_bucket_events`` counts applied churn events per result bucket;
+    ``churn_attributed_regroupings`` counts grouping updates that fired with
+    topology churn pending since the previous update (zero for control
+    planes without dynamic grouping).
+    """
+
+    migrations: int = 0
+    drift_events: int = 0
+    drift_host_moves: int = 0
+    tenant_arrivals: int = 0
+    tenant_departures: int = 0
+    hosts_added: int = 0
+    hosts_removed: int = 0
+    skipped_events: int = 0
+    churn_attributed_regroupings: int = 0
+    per_bucket_events: List[float] = field(default_factory=list)
+
+    def total_events(self) -> int:
+        """Number of churn events that changed the topology."""
+        return self.migrations + self.drift_events + self.tenant_arrivals + self.tenant_departures

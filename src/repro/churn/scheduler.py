@@ -1,0 +1,107 @@
+"""Schedules churn events onto the simulation engine and accounts for them.
+
+:class:`ChurnScheduler` is the glue between a :class:`~repro.churn.spec.ChurnSpec`
+and one replay: it builds the enabled processes, pre-draws their event
+streams, loads every event onto a :class:`~repro.simulation.engine.SimulationEngine`
+queue, and fires them through the system under test's churn hooks as the
+:class:`~repro.traffic.replay.TraceReplayer` advances the engine clock.
+Applied events are counted per result bucket so :class:`ScenarioResult`
+surfaces how much dynamics each bucket experienced (the churn analogue of the
+Fig. 8 update-frequency series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.churn.processes import ChurnProcess, ChurnTarget, build_processes
+from repro.churn.results import ChurnRunResult
+from repro.churn.spec import ChurnSpec
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventKind
+from repro.simulation.metrics import CounterSeries
+
+
+@dataclass(slots=True)
+class ChurnStats:
+    """Aggregate counters of churn applied during one replay."""
+
+    migrations: int = 0
+    drift_events: int = 0
+    drift_host_moves: int = 0
+    tenant_arrivals: int = 0
+    tenant_departures: int = 0
+    hosts_added: int = 0
+    hosts_removed: int = 0
+    skipped_events: int = 0
+
+    def applied_events(self) -> int:
+        """Number of churn events that changed the topology."""
+        return self.migrations + self.drift_events + self.tenant_arrivals + self.tenant_departures
+
+
+class ChurnScheduler:
+    """Loads a spec's churn events onto an engine and fires them into a target."""
+
+    def __init__(
+        self,
+        spec: ChurnSpec,
+        target: ChurnTarget,
+        *,
+        engine: SimulationEngine,
+        replay_end: float,
+        bucket_seconds: float,
+    ) -> None:
+        self.spec = spec
+        self.target = target
+        self.stats = ChurnStats()
+        self.events_series = CounterSeries(bucket_seconds)
+        self.scheduled_events = 0
+        start, end = spec.window_seconds(replay_end)
+        for process in build_processes(spec):
+            for time, kind in process.schedule(start, end):
+                engine.schedule_at(time, kind, callback=self._make_callback(process, kind))
+                self.scheduled_events += 1
+
+    def _make_callback(self, process: ChurnProcess, kind: EventKind):
+        def fire(event: Event) -> None:
+            applied = process.fire(kind, self.target, event.time)
+            self._account(kind, applied, event.time)
+
+        return fire
+
+    def _account(self, kind: EventKind, applied: int, now: float) -> None:
+        if applied <= 0:
+            self.stats.skipped_events += 1
+            return
+        if kind == EventKind.HOST_MIGRATION:
+            self.stats.migrations += 1
+        elif kind == EventKind.TRAFFIC_DRIFT:
+            self.stats.drift_events += 1
+            self.stats.drift_host_moves += applied
+        elif kind == EventKind.TENANT_ARRIVAL:
+            self.stats.tenant_arrivals += 1
+            self.stats.hosts_added += applied
+        elif kind == EventKind.TENANT_DEPARTURE:
+            self.stats.tenant_departures += 1
+            self.stats.hosts_removed += applied
+        self.events_series.record(now)
+
+    def result(self, *, bucket_count: int, churn_attributed_regroupings: int = 0) -> ChurnRunResult:
+        """The serializable churn summary for one run."""
+        per_bucket = [
+            count for _, count in self.events_series.series(bucket_range=(0, bucket_count))
+        ]
+        return ChurnRunResult(
+            migrations=self.stats.migrations,
+            drift_events=self.stats.drift_events,
+            drift_host_moves=self.stats.drift_host_moves,
+            tenant_arrivals=self.stats.tenant_arrivals,
+            tenant_departures=self.stats.tenant_departures,
+            hosts_added=self.stats.hosts_added,
+            hosts_removed=self.stats.hosts_removed,
+            skipped_events=self.stats.skipped_events,
+            churn_attributed_regroupings=churn_attributed_regroupings,
+            per_bucket_events=per_bucket,
+        )

@@ -1,17 +1,21 @@
 """The ``repro`` command-line interface.
 
-Three subcommands cover the everyday workflow::
+Four subcommands cover the everyday workflow::
 
     python -m repro run paper-fig7 --flows 2000          # run a preset
     python -m repro run my-scenario.json --out out.json  # run a spec file
     python -m repro compare out.json                     # reductions vs baseline
     python -m repro list-scenarios                       # presets + control planes
+    python -m repro bench --out-dir bench-out            # machine-readable benchmarks
 
 ``run`` accepts either a preset name (see ``list-scenarios``) or a path to a
 JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
 spec fields can be overridden from the command line (``--flows``,
-``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``)
-and multi-scenario presets fan out over ``--workers`` processes.
+``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``,
+``--churn-rate``, ``--churn-seed``) and multi-scenario presets fan out over
+``--workers`` processes.  ``bench`` replays the benchmark presets and writes
+one ``BENCH_<scenario>.json`` per scenario (runtime, controller workload,
+regroup and churn counts) so CI can track the performance trajectory.
 """
 
 from __future__ import annotations
@@ -20,15 +24,20 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.reports import format_percent, format_table
+from repro.churn.spec import ChurnSpec
 from repro.common.errors import ReproError
 from repro.core.presets import get_preset, list_presets
 from repro.core.registry import available_control_planes
 from repro.core.runner import ScenarioResult, ScenarioRunner
 from repro.core.scenario import ScenarioSpec
+
+#: Presets the ``bench`` subcommand replays by default.
+BENCH_PRESETS = ("paper-fig7", "churn-migration")
 
 
 def _load_specs(target: str) -> List[ScenarioSpec]:
@@ -42,8 +51,20 @@ def _load_specs(target: str) -> List[ScenarioSpec]:
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
     """Apply ``--flows``/``--switches``/... overrides to one spec."""
     topology = spec.topology
+    config = spec.config
     if args.switches is not None:
         topology = dataclasses.replace(topology, switch_count=args.switches)
+        if args.switches != spec.topology.switch_count:
+            # Re-run the preset sizing heuristic: a group-size limit tuned
+            # for the original scale would let a smaller topology collapse
+            # into a single group and never exercise inter-group traffic.
+            config = dataclasses.replace(
+                config,
+                grouping=dataclasses.replace(
+                    config.grouping,
+                    group_size_limit=max(4, args.switches // 6),
+                ),
+            )
     if args.hosts is not None:
         topology = dataclasses.replace(topology, host_count=args.hosts)
     if args.seed is not None:
@@ -74,31 +95,58 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
     if args.systems is not None:
         systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
 
+    churn = spec.churn
+    if getattr(args, "churn_rate", None) is not None:
+        if args.churn_rate == 0:
+            # Zero disables every churn process, not just migrations.
+            churn = dataclasses.replace(
+                churn or ChurnSpec(),
+                migration_rate_per_hour=0.0,
+                drift_rate_per_hour=0.0,
+                tenant_arrival_rate_per_hour=0.0,
+                tenant_departure_rate_per_hour=0.0,
+            )
+        else:
+            churn = dataclasses.replace(
+                churn or ChurnSpec(), migration_rate_per_hour=args.churn_rate
+            )
+    if getattr(args, "churn_seed", None) is not None:
+        churn = dataclasses.replace(churn or ChurnSpec(), seed=args.churn_seed)
+
     return dataclasses.replace(
-        spec, topology=topology, traffic=traffic, schedule=schedule, systems=systems
+        spec,
+        topology=topology,
+        traffic=traffic,
+        schedule=schedule,
+        systems=systems,
+        config=config,
+        churn=churn,
     )
 
 
 def _print_result(result: ScenarioResult) -> None:
     """Print the summary table for one scenario."""
     baseline_name = next(iter(result.runs))
+    with_churn = any(run.churn is not None for run in result.runs.values())
     rows = []
     for name, run in result.runs.items():
         reduction = result.reduction(baseline_name, name) if name != baseline_name else 0.0
-        rows.append([
+        row = [
             run.label,
             run.total_controller_requests,
             format_percent(reduction) if name != baseline_name else "-",
             f"{run.latency.overall_mean_ms:.3f}",
             f"{sum(run.updates_per_hour):.0f}",
             run.failover_events,
-        ])
-    print(format_table(
-        ["Control plane", "Controller requests", "Reduction vs baseline",
-         "Mean latency (ms)", "Grouping updates", "Failover events"],
-        rows,
-        title=f"Scenario '{result.spec.name}'",
-    ))
+        ]
+        if with_churn:
+            row.append(run.churn.total_events() if run.churn is not None else 0)
+        rows.append(row)
+    headers = ["Control plane", "Controller requests", "Reduction vs baseline",
+               "Mean latency (ms)", "Grouping updates", "Failover events"]
+    if with_churn:
+        headers.append("Churn events")
+    print(format_table(headers, rows, title=f"Scenario '{result.spec.name}'"))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -124,6 +172,12 @@ def _load_results(target: str) -> List[ScenarioResult]:
     if target.endswith(".json") or path.is_file():
         data = json.loads(path.read_text(encoding="utf-8"))
         payloads = data if isinstance(data, list) else [data]
+        for payload in payloads:
+            if not isinstance(payload, dict) or "spec" not in payload or "runs" not in payload:
+                raise ReproError(
+                    f"{target} is not a results file; expected the JSON written by "
+                    "'repro run --out' (a scenario spec cannot be compared directly)"
+                )
         return [ScenarioResult.from_dict(payload) for payload in payloads]
     specs = get_preset(target).specs()
     return ScenarioRunner().run_many(specs)
@@ -135,7 +189,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         if index:
             print()
         baseline = args.baseline or next(iter(result.runs))
-        baseline_run = result.result_for(baseline)
+        try:
+            baseline_run = result.result_for(baseline)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
         rows = []
         for name, run in result.runs.items():
             if run.label == baseline_run.label:
@@ -158,6 +216,55 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_payload(preset_name: str, result: ScenarioResult, runtime_seconds: float) -> dict:
+    """The machine-readable benchmark record for one scenario run."""
+    systems = {}
+    for name, run in result.runs.items():
+        systems[name] = {
+            "label": run.label,
+            "total_controller_requests": run.total_controller_requests,
+            "mean_krps": run.workload.mean_krps(),
+            "peak_krps": run.workload.peak_krps(),
+            "mean_latency_ms": run.latency.overall_mean_ms,
+            "grouping_updates": sum(run.updates_per_hour),
+            "churn_events": run.churn.total_events() if run.churn is not None else 0,
+            "churn_attributed_regroupings": (
+                run.churn.churn_attributed_regroupings if run.churn is not None else 0
+            ),
+        }
+    return {
+        "scenario": result.spec.name,
+        "preset": preset_name,
+        "runtime_seconds": runtime_seconds,
+        "flows": (
+            result.spec.traffic.synthetic.total_flows
+            if result.spec.traffic.kind == "synthetic"
+            else result.spec.traffic.realistic.total_flows
+        ),
+        "switches": result.spec.topology.switch_count,
+        "hosts": result.spec.topology.host_count,
+        "systems": systems,
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    preset_names = [name.strip() for name in args.presets.split(",") if name.strip()]
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = ScenarioRunner()
+    for preset_name in preset_names:
+        for spec in get_preset(preset_name).specs():
+            spec = _apply_overrides(spec, args)
+            started = time.perf_counter()
+            result = runner.run(spec)
+            runtime = time.perf_counter() - started
+            payload = _bench_payload(preset_name, result, runtime)
+            path = out_dir / f"BENCH_{spec.name}.json"
+            path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {path} (runtime {runtime:.1f}s)")
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     preset_rows = []
     for preset in list_presets():
@@ -173,6 +280,25 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
+    """Spec-override flags shared by ``run`` and ``bench``."""
+    parser.add_argument("--flows", type=int, default=None, help="override total flow count")
+    parser.add_argument("--switches", type=int, default=None, help="override switch count")
+    parser.add_argument("--hosts", type=int, default=None, help="override host count")
+    parser.add_argument("--seed", type=int, default=None, help="override topology/traffic seed")
+    parser.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
+    parser.add_argument("--systems", default=None, help="comma-separated control-plane names")
+    parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=None,
+        help="override the VM migration churn rate (migrations per simulated hour; 0 disables)",
+    )
+    parser.add_argument(
+        "--churn-seed", type=int, default=None, help="override the churn RNG seed"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -183,15 +309,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run a preset or a JSON scenario spec")
     run.add_argument("scenario", help="preset name or path to a ScenarioSpec JSON file")
-    run.add_argument("--flows", type=int, default=None, help="override total flow count")
-    run.add_argument("--switches", type=int, default=None, help="override switch count")
-    run.add_argument("--hosts", type=int, default=None, help="override host count")
-    run.add_argument("--seed", type=int, default=None, help="override topology/traffic seed")
-    run.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
-    run.add_argument("--systems", default=None, help="comma-separated control-plane names")
+    _add_override_arguments(run)
     run.add_argument("--workers", type=int, default=None, help="process fan-out for multi-scenario runs")
     run.add_argument("--out", default=None, help="write results JSON to this path")
     run.set_defaults(handler=_cmd_run)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark presets and write BENCH_<scenario>.json files"
+    )
+    bench.add_argument(
+        "--presets",
+        default=",".join(BENCH_PRESETS),
+        help="comma-separated preset names to benchmark",
+    )
+    bench.add_argument("--out-dir", default=".", help="directory for the BENCH_*.json files")
+    _add_override_arguments(bench)
+    bench.set_defaults(handler=_cmd_bench)
 
     compare = subparsers.add_parser("compare", help="compare runs from a results file or preset")
     compare.add_argument("target", help="results JSON (from 'run --out') or preset name")
@@ -209,7 +342,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ReproError, FileNotFoundError, KeyError, json.JSONDecodeError) as error:
+    except (ReproError, FileNotFoundError, json.JSONDecodeError) as error:
+        # KeyError deliberately not caught: a missing dict key anywhere in a
+        # replay is a bug whose traceback matters, not a usage error.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

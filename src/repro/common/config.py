@@ -77,10 +77,17 @@ class RegroupingPolicy:
     max_interval_seconds: float = 7200.0
     overload_threshold_rps: float = 4000.0
     underload_threshold_rps: float = 1500.0
+    # Topology-churn trigger: regroup once this many VM-level churn changes
+    # (migrations, arrivals, departures) accumulated since the last update.
+    # Zero disables the trigger; it never fires on a static topology either
+    # way, so the default does not change churn-free runs.
+    churn_event_trigger: int = 25
 
     def __post_init__(self) -> None:
         if self.workload_growth_trigger <= 0:
             raise ConfigurationError("workload_growth_trigger must be positive")
+        if self.churn_event_trigger < 0:
+            raise ConfigurationError("churn_event_trigger must be non-negative")
         if self.min_interval_seconds < 0:
             raise ConfigurationError("min_interval_seconds must be non-negative")
         if self.max_interval_seconds < self.min_interval_seconds:

@@ -86,8 +86,11 @@ def from_jsonable(annotation: Any, data: Any) -> Any:
         return annotation(data)
     if annotation is float and isinstance(data, (int, float)) and not isinstance(data, bool):
         return float(data)
+    # JSON object keys are always strings; revive numeric dict keys.
     if annotation is int and isinstance(data, str):
         return int(data)
+    if annotation is float and isinstance(data, str):
+        return float(data)
     return data
 
 

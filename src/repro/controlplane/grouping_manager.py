@@ -57,6 +57,8 @@ class GroupingManager:
         self.current_grouping: Optional[Grouping] = None
         self.updates_series = CounterSeries(3600.0)
         self.update_count = 0
+        self.churn_events_since_update = 0
+        self.churn_attributed_update_count = 0
         self._last_update_time = 0.0
         self._workload_at_last_update = 0.0
 
@@ -65,6 +67,16 @@ class GroupingManager:
     def observe_flow(self, src_switch: int, dst_switch: int, amount: float = 1.0) -> None:
         """Record one observed flow arrival in the current measurement window."""
         self.recent_matrix.record(src_switch, dst_switch, amount)
+
+    def note_churn(self, count: int = 1) -> None:
+        """Record VM-level topology churn (migration, arrival, departure).
+
+        Churn accumulates until the next applied grouping update; reaching
+        ``policy.churn_event_trigger`` pending changes is itself a regrouping
+        trigger, and an update applied with churn pending is counted as
+        churn-attributed.
+        """
+        self.churn_events_since_update += count
 
     def register_switches(self, switch_ids: List[int]) -> None:
         """Make isolated switches known to the intensity matrices."""
@@ -94,6 +106,7 @@ class GroupingManager:
         self.recent_matrix = IntensityMatrix(warmup_matrix.switches())
         grouping = self.grouper.initial_grouping(warmup_matrix, group_count=group_count)
         self.current_grouping = grouping
+        self.churn_events_since_update = 0
         self._last_update_time = now
         self._workload_at_last_update = workload_rps
         return grouping
@@ -111,17 +124,25 @@ class GroupingManager:
         if not self.dynamic:
             return RegroupingDecision(regrouped=False, reason="static mode")
 
+        # Boundary semantics follow §IV-B inclusively: an elapsed time of
+        # exactly the minimum interval and a growth of exactly the trigger
+        # both fire.  The epsilons keep that true when the values come out of
+        # floating-point arithmetic a hair below the boundary.
         elapsed = now - self._last_update_time
-        if elapsed < self.policy.min_interval_seconds:
+        if elapsed + 1e-9 < self.policy.min_interval_seconds:
             return RegroupingDecision(regrouped=False, reason="within minimum update interval")
 
         baseline = max(self._workload_at_last_update, 1e-9)
         growth = (workload_rps - self._workload_at_last_update) / baseline
         overloaded = workload_rps > self.policy.overload_threshold_rps
-        growth_triggered = growth >= self.policy.workload_growth_trigger and workload_rps > 0
-        stale = elapsed >= self.policy.max_interval_seconds
+        growth_triggered = growth >= self.policy.workload_growth_trigger - 1e-12 and workload_rps > 0
+        stale = elapsed + 1e-9 >= self.policy.max_interval_seconds
+        churn_triggered = (
+            self.policy.churn_event_trigger > 0
+            and self.churn_events_since_update >= self.policy.churn_event_trigger
+        )
 
-        if not (growth_triggered or overloaded or stale):
+        if not (growth_triggered or overloaded or stale or churn_triggered):
             return RegroupingDecision(regrouped=False, reason="no trigger fired")
 
         report = self.grouper.incremental_update(
@@ -137,13 +158,24 @@ class GroupingManager:
         if not report.improved and not stale:
             # The update did not help (traffic change was noise); keep the old
             # grouping and do not count an update, mirroring the paper's goal
-            # of avoiding oscillation.
+            # of avoiding oscillation.  Pending churn keeps accumulating so a
+            # later applied update is still attributed to it.
             return RegroupingDecision(regrouped=False, reason="update would not improve grouping")
 
         self.current_grouping = report.grouping
         self.update_count += 1
         self.updates_series.record(now)
-        reason = "workload growth" if growth_triggered else ("overload" if overloaded else "max interval elapsed")
+        if self.churn_events_since_update > 0:
+            self.churn_attributed_update_count += 1
+        self.churn_events_since_update = 0
+        if growth_triggered:
+            reason = "workload growth"
+        elif overloaded:
+            reason = "overload"
+        elif churn_triggered:
+            reason = "topology churn"
+        else:
+            reason = "max interval elapsed"
         return RegroupingDecision(regrouped=True, reason=reason, grouping=report.grouping)
 
     # -- reporting -----------------------------------------------------------------

@@ -32,6 +32,7 @@ class DisseminationStats:
 
     live_events: int = 0
     migration_events: int = 0
+    departure_events: int = 0
     peer_messages: int = 0
     state_reports: int = 0
     controller_updates: int = 0
@@ -79,6 +80,23 @@ class StateDisseminator:
         self._controller.clib.record_host(migrated.mac, new_switch_id, migrated.tenant_id)
         self._controller.tenant_manager.note_host_location(migrated.tenant_id, new_switch_id)
         self.stats.controller_updates += 1
+
+    def host_departed(self, host_id: int, *, now: float = 0.0) -> None:
+        """A VM was decommissioned (tenant departure or scale-down).
+
+        The local switch forgets the host, its group re-disseminates the
+        shrunken L-FIB, and the controller's C-LIB drops the location so a
+        later inter-group setup cannot resolve to a ghost VM.
+        """
+        host = self._network.host(host_id)
+        switch = self._controller.switch(host.switch_id)
+        switch.detach_host(host.mac)
+        self._network.remove_host(host_id)
+        self.stats.departure_events += 1
+        self.stats.live_events += 1
+        self._propagate_switch_update(host.switch_id, now)
+        if self._controller.clib.remove_host(host.mac):
+            self.stats.controller_updates += 1
 
     # -- asynchronous (switch-driven) dissemination -----------------------------------
 

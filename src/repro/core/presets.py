@@ -10,7 +10,11 @@ under a memorable name:
 * ``failover`` — a failover storm: designated-switch failures injected at
   two points of the day while the trace replays;
 * ``scale-sweep`` — the same workload density at three topology scales, a
-  natural ``run_many`` fan-out.
+  natural ``run_many`` fan-out;
+* ``churn-migration`` — steady VM-migration and locality-drift churn all
+  day, the workload that exercises dynamic regrouping (Fig. 8);
+* ``churn-tenant-wave`` — a wave of tenant arrivals and departures through
+  the business hours on top of light migration churn.
 
 Presets are deliberately sized to finish in seconds-to-minutes on a laptop;
 scale any of them up by overriding the spec fields (the CLI exposes
@@ -22,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from repro.churn.spec import ChurnSpec
 from repro.common.config import GroupingConfig, LazyCtrlConfig
 from repro.common.errors import ConfigurationError
 from repro.core.scenario import (
@@ -114,6 +119,44 @@ def _scale_sweep() -> Tuple[ScenarioSpec, ...]:
     )
 
 
+def _churn_migration() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="churn-migration",
+            topology=TopologyProfile(switch_count=24, host_count=320, seed=2015),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=2015)),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(24),
+            churn=ChurnSpec(
+                seed=2015,
+                migration_rate_per_hour=12.0,
+                drift_rate_per_hour=1.5,
+            ),
+        ),
+    )
+
+
+def _churn_tenant_wave() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="churn-tenant-wave",
+            topology=TopologyProfile(switch_count=24, host_count=320, seed=2015),
+            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=2015)),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(24),
+            churn=ChurnSpec(
+                seed=2015,
+                migration_rate_per_hour=2.0,
+                tenant_arrival_rate_per_hour=1.5,
+                tenant_departure_rate_per_hour=1.0,
+                tenant_size_range=(20, 40),
+                start_hour=6.0,
+                end_hour=18.0,
+            ),
+        ),
+    )
+
+
 _PRESETS: Dict[str, Preset] = {
     preset.name: preset
     for preset in (
@@ -136,6 +179,16 @@ _PRESETS: Dict[str, Preset] = {
             name="scale-sweep",
             description="Same workload density at 16/32/64 switches — a run_many fan-out",
             build=_scale_sweep,
+        ),
+        Preset(
+            name="churn-migration",
+            description="All-day VM migration + locality drift churn driving dynamic regrouping",
+            build=_churn_migration,
+        ),
+        Preset(
+            name="churn-tenant-wave",
+            description="Tenant arrival/departure wave (hours 6-18) over light migration churn",
+            build=_churn_tenant_wave,
         ),
     )
 }

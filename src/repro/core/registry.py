@@ -41,6 +41,14 @@ class ControlPlane(Protocol):
     plus periodic-callback contract the replayer has always used; the rest
     is what the runner needs to provision the design and collect a
     :class:`~repro.core.results.RunResult` afterwards.
+
+    Two optional extensions are discovered by ``hasattr``: designs exposing
+    ``inject_failures`` receive the spec's failure storms, and designs
+    exposing the churn hooks (``churn_migrate_host``,
+    ``churn_tenant_arrival``, ``churn_tenant_departure`` — see
+    :class:`repro.churn.processes.ChurnTarget`) experience the scenario's
+    workload dynamics.  Designs without them simply run on a frozen
+    topology.
     """
 
     counters: SystemCounters

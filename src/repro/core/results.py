@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.churn.results import ChurnRunResult
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
 
 
@@ -46,6 +47,9 @@ class SystemCounters:
     controller_requests: int = 0
     duplicate_deliveries: int = 0
     false_positive_drops: int = 0
+    # Replayed flows whose endpoints no longer exist because their tenant
+    # departed mid-run (workload churn); they are skipped, not handled.
+    departed_flows: int = 0
 
     def controller_fraction(self) -> float:
         """Fraction of flows whose setup required the controller."""
@@ -115,6 +119,7 @@ class RunResult:
     counters: SystemCounters
     total_controller_requests: int
     failover_events: int = 0
+    churn: Optional[ChurnRunResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of this run."""

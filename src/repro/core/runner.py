@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.churn.scheduler import ChurnScheduler
+from repro.churn.spec import ChurnSpec
 from repro.common.errors import ConfigurationError
 from repro.common.config import LazyCtrlConfig
 from repro.core.registry import ControlPlane, get_control_plane
@@ -31,6 +33,7 @@ from repro.core.results import (
     WorkloadSeriesResult,
 )
 from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec
+from repro.simulation.engine import SimulationEngine
 from repro.traffic.replay import TraceReplayer
 from repro.traffic.trace import Trace
 
@@ -123,16 +126,25 @@ class ScenarioRunner:
         """Materialize ``spec`` and run every selected control plane on it."""
         # Resolve every name up front so a typo fails before minutes of replay.
         entries = [get_control_plane(name) for name in spec.systems]
-        network = spec.build_network()
-        trace = spec.build_trace(network)
+        base_trace = spec.build_trace(spec.build_network())
         runs: Dict[str, RunResult] = {}
         for entry in entries:
+            if spec.churn_active:
+                # Churn mutates the topology during a replay, so each system
+                # starts from its own pristine network.  The deterministic
+                # builder yields an identical copy, and the already-generated
+                # flows are simply rebound to it — far cheaper than
+                # regenerating the trace per system.
+                system_trace = Trace(base_trace.name, spec.build_network(), base_trace.flows)
+            else:
+                system_trace = base_trace
             runs[entry.name] = self.replay_system(
                 entry.name,
-                trace,
+                system_trace,
                 schedule=spec.schedule,
                 config=spec.config,
                 failures=spec.failures,
+                churn=spec.churn,
             )
         return ScenarioResult(spec=spec, runs=runs)
 
@@ -177,8 +189,22 @@ class ScenarioRunner:
         config: LazyCtrlConfig | None = None,
         label: Optional[str] = None,
         failures: Optional[FailureInjectionSpec] = None,
+        churn: Optional[ChurnSpec] = None,
     ) -> RunResult:
-        """Drive one registered control plane over an already-built trace."""
+        """Drive one registered control plane over an already-built trace.
+
+        When ``churn`` is active and the control plane exposes the churn
+        hooks, the churn events are scheduled onto a simulation engine that
+        the replayer advances in lockstep with the trace.  An inert churn
+        spec (all rates zero) is ignored entirely, so it reproduces the
+        churn-free replay bit for bit.
+
+        .. warning:: Active churn mutates ``trace.network`` in place during
+           the replay.  To compare systems fairly, give each call its own
+           trace bound to a pristine network (rebind the flows with
+           ``Trace(name, fresh_network, trace.flows)``), which is what
+           :meth:`run` does.
+        """
         entry = get_control_plane(system)
         schedule = schedule or ScheduleSpec()
         plane = entry.build(
@@ -195,14 +221,29 @@ class ScenarioRunner:
             injector = _FailureInjector(plane, failures)
             callbacks.append(injector)
 
+        engine: Optional[SimulationEngine] = None
+        scheduler: Optional[ChurnScheduler] = None
+        if churn is not None and churn.active and hasattr(plane, "churn_migrate_host"):
+            engine = SimulationEngine()
+            scheduler = ChurnScheduler(
+                churn,
+                plane,
+                engine=engine,
+                replay_end=schedule.duration_seconds,
+                bucket_seconds=schedule.bucket_seconds,
+            )
+
         replayer = TraceReplayer(
             trace,
             plane,
             periodic_interval=schedule.periodic_interval_seconds,
             periodic_callbacks=callbacks,
+            event_engine=engine,
         )
         replayer.replay(start=0.0, end=schedule.duration_seconds)
-        return self._collect(entry.label if label is None else label, plane, schedule, injector)
+        return self._collect(
+            entry.label if label is None else label, plane, schedule, injector, scheduler
+        )
 
     # -- result collection -----------------------------------------------------
 
@@ -212,6 +253,7 @@ class ScenarioRunner:
         plane: ControlPlane,
         schedule: ScheduleSpec,
         injector: Optional[_FailureInjector] = None,
+        churn_scheduler: Optional[ChurnScheduler] = None,
     ) -> RunResult:
         # Ceil so a partial final bucket is reported rather than dropped
         # (its rate is still averaged over a full bucket width).
@@ -228,6 +270,16 @@ class ScenarioRunner:
         latency_series = [
             plane.latency_recorder.bucket_mean(index) for index in range(bucket_count)
         ]
+        churn_result = None
+        if churn_scheduler is not None:
+            attributed = (
+                plane.churn_attributed_regroupings()
+                if hasattr(plane, "churn_attributed_regroupings")
+                else 0
+            )
+            churn_result = churn_scheduler.result(
+                bucket_count=bucket_count, churn_attributed_regroupings=attributed
+            )
         return RunResult(
             label=label,
             workload=WorkloadSeriesResult(label=label, bucket_hours=schedule.bucket_hours, krps=krps),
@@ -241,6 +293,7 @@ class ScenarioRunner:
             counters=plane.counters,
             total_controller_requests=plane.total_controller_requests(),
             failover_events=injector.events if injector is not None else 0,
+            churn=churn_result,
         )
 
 

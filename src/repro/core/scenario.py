@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.churn.spec import ChurnSpec
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
@@ -153,6 +154,7 @@ class ScenarioSpec:
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
     config: LazyCtrlConfig = field(default_factory=LazyCtrlConfig)
     failures: Optional[FailureInjectionSpec] = None
+    churn: Optional[ChurnSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
@@ -169,6 +171,11 @@ class ScenarioSpec:
         if len(set(systems)) != len(systems):
             raise ConfigurationError("systems must not contain duplicate control-plane names")
         object.__setattr__(self, "systems", systems)
+
+    @property
+    def churn_active(self) -> bool:
+        """Whether this scenario applies workload dynamics during the replay."""
+        return self.churn is not None and self.churn.active
 
     # -- materialization -----------------------------------------------------
 

@@ -81,8 +81,13 @@ class LazyCtrlSystem:
 
     # -- FlowSink protocol ----------------------------------------------------------
 
-    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> FlowHandlingResult:
+    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> Optional[FlowHandlingResult]:
         """Handle one replayed flow: first-packet path decision + accounting."""
+        if not (self.network.has_host(flow.src_host_id) and self.network.has_host(flow.dst_host_id)):
+            # An endpoint's tenant departed mid-run (workload churn): the
+            # flow never materializes and generates no control-plane work.
+            self.counters.departed_flows += 1
+            return None
         src_host = self.network.host(flow.src_host_id)
         dst_host = self.network.host(flow.dst_host_id)
         src_switch = self.controller.switch(src_host.switch_id)
@@ -193,6 +198,38 @@ class LazyCtrlSystem:
         """Grouping updates per hour bucket (Fig. 8)."""
         return self.controller.grouping_manager.updates_per_hour(hours=hours)
 
+    # -- churn hooks (workload dynamics) ------------------------------------------------
+
+    def churn_migrate_host(self, host_id: int, new_switch_id: int, *, now: float = 0.0) -> None:
+        """Live-migrate one VM; L-FIB/G-FIB/C-LIB state follows (§III-D.3)."""
+        self.disseminator.migrate_host(host_id, new_switch_id, now=now)
+        self.controller.grouping_manager.note_churn()
+
+    def churn_tenant_arrival(self, name: str, placements, *, now: float = 0.0) -> int:
+        """A tenant arrives: one VM per placement switch boots and ARPs."""
+        tenant = self.network.tenants.create_tenant(name)
+        for switch_id in placements:
+            host = self.network.attach_host(switch_id, tenant.tenant_id)
+            self.disseminator.host_appeared(host.host_id, now=now)
+            self.controller.clib.record_host(host.mac, host.switch_id, host.tenant_id)
+            self.controller.tenant_manager.note_host_location(host.tenant_id, host.switch_id)
+        self.controller.grouping_manager.note_churn(len(placements))
+        return tenant.tenant_id
+
+    def churn_tenant_departure(self, tenant_id: int, *, now: float = 0.0) -> int:
+        """A tenant departs: every VM is decommissioned and state cleaned up."""
+        host_ids = list(self.network.tenants.get(tenant_id).host_ids)
+        for host_id in host_ids:
+            self.disseminator.host_departed(host_id, now=now)
+        self.network.remove_tenant(tenant_id)
+        self.controller.tenant_manager.refresh()
+        self.controller.grouping_manager.note_churn(len(host_ids))
+        return len(host_ids)
+
+    def churn_attributed_regroupings(self) -> int:
+        """Grouping updates applied while topology churn was pending."""
+        return self.controller.grouping_manager.churn_attributed_update_count
+
     # -- failure injection -------------------------------------------------------------
 
     def inject_failures(self, *, count: int = 1, now: float = 0.0) -> List:
@@ -260,8 +297,11 @@ class OpenFlowSystem:
 
     # -- FlowSink protocol ------------------------------------------------------------
 
-    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> FlowHandlingResult:
+    def handle_flow_arrival(self, flow: FlowRecord, now: float) -> Optional[FlowHandlingResult]:
         """Handle one replayed flow under reactive centralized control."""
+        if not (self.network.has_host(flow.src_host_id) and self.network.has_host(flow.dst_host_id)):
+            self.counters.departed_flows += 1
+            return None
         src_host = self.network.host(flow.src_host_id)
         dst_host = self.network.host(flow.dst_host_id)
         src_switch = self._switches[src_host.switch_id]
@@ -335,3 +375,45 @@ class OpenFlowSystem:
     def updates_per_hour(self, *, hours: int) -> List[float]:
         """The baseline never regroups; every hour bucket is zero."""
         return [0.0] * max(0, hours)
+
+    # -- churn hooks (workload dynamics) ------------------------------------------------
+    #
+    # The baseline experiences the identical churn stream as LazyCtrl; a
+    # migration or boot shows up as the usual hypervisor-driven gratuitous
+    # ARP, which the learning controller absorbs without regrouping.
+
+    def churn_migrate_host(self, host_id: int, new_switch_id: int, *, now: float = 0.0) -> None:
+        """Live-migrate one VM; the learning switch tables follow."""
+        host = self.network.host(host_id)
+        old_switch_id = host.switch_id
+        if old_switch_id == new_switch_id:
+            return
+        migrated = self.network.migrate_host(host_id, new_switch_id)
+        self._switches[old_switch_id].detach_host(migrated.mac)
+        self._switches[new_switch_id].attach_host(migrated.mac, migrated.port, migrated.tenant_id)
+        # The gratuitous ARP after migration re-teaches the controller.
+        self.controller.learn_location(migrated.mac, new_switch_id)
+
+    def churn_tenant_arrival(self, name: str, placements, *, now: float = 0.0) -> int:
+        """A tenant arrives: one VM per placement switch boots and ARPs."""
+        tenant = self.network.tenants.create_tenant(name)
+        for switch_id in placements:
+            host = self.network.attach_host(switch_id, tenant.tenant_id)
+            self._switches[switch_id].attach_host(host.mac, host.port, host.tenant_id)
+            self.controller.learn_location(host.mac, switch_id)
+        return tenant.tenant_id
+
+    def churn_tenant_departure(self, tenant_id: int, *, now: float = 0.0) -> int:
+        """A tenant departs: every VM is decommissioned and forgotten."""
+        host_ids = list(self.network.tenants.get(tenant_id).host_ids)
+        for host_id in host_ids:
+            host = self.network.host(host_id)
+            self._switches[host.switch_id].detach_host(host.mac)
+            self.controller.forget_location(host.mac)
+            self.network.remove_host(host_id)
+        self.network.tenants.remove_tenant(tenant_id)
+        return len(host_ids)
+
+    def churn_attributed_regroupings(self) -> int:
+        """The baseline has no grouping to update."""
+        return 0

@@ -23,6 +23,11 @@ class EventKind(enum.Enum):
     FAILURE_INJECTION = "failure_injection"
     RECOVERY = "recovery"
     TIMER = "timer"
+    # Workload-dynamics (churn) events scheduled by repro.churn.
+    HOST_MIGRATION = "host_migration"
+    TRAFFIC_DRIFT = "traffic_drift"
+    TENANT_ARRIVAL = "tenant_arrival"
+    TENANT_DEPARTURE = "tenant_departure"
 
 
 @dataclass(order=True)

@@ -38,6 +38,9 @@ class DataCenterNetwork:
         self._hosts: Dict[int, Host] = {}
         self._hosts_by_mac: Dict[MacAddress, Host] = {}
         self._hosts_on_switch: Dict[int, List[int]] = {}
+        # Host identifiers are never reused: a VM arriving after another
+        # departed (workload churn) must not inherit the departed VM's MAC.
+        self._next_host_id = 0
         self.tenants = TenantDirectory()
 
     # -- switches ----------------------------------------------------------
@@ -81,8 +84,9 @@ class DataCenterNetwork:
         self.switch(switch_id)
         if tenant_id not in self.tenants:
             raise TopologyError(f"unknown tenant {tenant_id}")
-        host_id = len(self._hosts)
-        port = len(self._hosts_on_switch[switch_id]) + 1
+        host_id = self._next_host_id
+        self._next_host_id += 1
+        port = self._free_port(switch_id)
         host = Host(
             host_id=host_id,
             mac=MacAddress.from_host_index(host_id),
@@ -102,6 +106,10 @@ class DataCenterNetwork:
             return self._hosts[host_id]
         except KeyError as exc:
             raise UnknownHostError(f"unknown host {host_id}") from exc
+
+    def has_host(self, host_id: int) -> bool:
+        """Whether ``host_id`` currently exists (it may have departed)."""
+        return host_id in self._hosts
 
     def host_by_mac(self, mac: MacAddress) -> Host:
         """Return the host owning ``mac`` (raises when unknown)."""
@@ -138,12 +146,45 @@ class DataCenterNetwork:
         if host.switch_id == new_switch_id:
             return host
         self._hosts_on_switch[host.switch_id].remove(host_id)
-        new_port = len(self._hosts_on_switch[new_switch_id]) + 1
+        new_port = self._free_port(new_switch_id)
         migrated = host.migrated_to(new_switch_id, new_port)
         self._hosts[host_id] = migrated
         self._hosts_by_mac[migrated.mac] = migrated
         self._hosts_on_switch[new_switch_id].append(host_id)
         return migrated
+
+    def remove_host(self, host_id: int) -> Host:
+        """Remove a VM entirely (tenant departure); returns the last record.
+
+        The host's port becomes free for reuse and the tenant directory
+        forgets the assignment; identifiers and MACs are never reused.
+        """
+        host = self.host(host_id)
+        self._hosts_on_switch[host.switch_id].remove(host_id)
+        del self._hosts[host_id]
+        del self._hosts_by_mac[host.mac]
+        self.tenants.unassign_host(host_id)
+        return host
+
+    def remove_tenant(self, tenant_id: int) -> List[Host]:
+        """Remove a tenant and every VM it still owns (tenant departure)."""
+        tenant = self.tenants.get(tenant_id)
+        removed = [self.remove_host(host_id) for host_id in list(tenant.host_ids)]
+        self.tenants.remove_tenant(tenant_id)
+        return removed
+
+    def _free_port(self, switch_id: int) -> int:
+        """Smallest local port not used by any VM on ``switch_id``.
+
+        With a static topology this is equivalent to ``host count + 1``; once
+        VMs migrate away or depart it reuses freed ports instead of handing
+        out a port that a later arrival would collide on.
+        """
+        used = {self._hosts[host_id].port for host_id in self._hosts_on_switch[switch_id]}
+        port = 1
+        while port in used:
+            port += 1
+        return port
 
     # -- derived views --------------------------------------------------------
 

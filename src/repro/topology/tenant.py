@@ -46,15 +46,19 @@ class Tenant:
 class TenantDirectory:
     """Registry of all tenants in the data center."""
 
-    __slots__ = ("_tenants", "_host_to_tenant")
+    __slots__ = ("_tenants", "_host_to_tenant", "_next_tenant_id")
 
     def __init__(self) -> None:
         self._tenants: Dict[int, Tenant] = {}
         self._host_to_tenant: Dict[int, int] = {}
+        # Identifiers are never reused, so tenants arriving after a departure
+        # (workload churn) cannot collide with an earlier tenant's VLAN.
+        self._next_tenant_id = 0
 
     def create_tenant(self, name: str, *, vlan_id: int | None = None) -> Tenant:
         """Create a new tenant with a fresh identifier (VLAN defaults to the id + 100)."""
-        tenant_id = len(self._tenants)
+        tenant_id = self._next_tenant_id
+        self._next_tenant_id += 1
         tenant = Tenant(tenant_id=tenant_id, name=name, vlan_id=vlan_id if vlan_id is not None else tenant_id + 100)
         self._tenants[tenant_id] = tenant
         return tenant
@@ -73,6 +77,25 @@ class TenantDirectory:
             raise TopologyError(f"host {host_id} is already assigned to a tenant")
         tenant.add_host(host_id)
         self._host_to_tenant[host_id] = tenant_id
+
+    def unassign_host(self, host_id: int) -> int:
+        """Detach ``host_id`` from its tenant; returns the former tenant id."""
+        try:
+            tenant_id = self._host_to_tenant.pop(host_id)
+        except KeyError as exc:
+            raise TopologyError(f"host {host_id} is not assigned to any tenant") from exc
+        self.get(tenant_id).remove_host(host_id)
+        return tenant_id
+
+    def remove_tenant(self, tenant_id: int) -> Tenant:
+        """Remove a tenant that no longer owns any VM (tenant departure)."""
+        tenant = self.get(tenant_id)
+        if tenant.host_ids:
+            raise TopologyError(
+                f"tenant {tenant_id} still owns {len(tenant.host_ids)} hosts; remove them first"
+            )
+        del self._tenants[tenant_id]
+        return tenant
 
     def tenant_of_host(self, host_id: int) -> int:
         """Return the tenant id owning ``host_id``."""

@@ -9,15 +9,24 @@ interval of simulation time.
 
 The sink protocol is intentionally tiny so the replayer works for the
 baseline OpenFlow design, for LazyCtrl, and for unit-test doubles alike.
+
+A replay can additionally be coupled to a
+:class:`~repro.simulation.engine.SimulationEngine`: the replayer then
+advances the engine clock in lockstep with the trace, so events queued on
+the engine (workload churn, failure storms) fire in exact time order,
+interleaved with flow arrivals and periodic ticks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol
 
 from repro.traffic.flow import FlowRecord
 from repro.traffic.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.simulation.engine import SimulationEngine
 
 
 class FlowSink(Protocol):
@@ -56,6 +65,7 @@ class TraceReplayer:
         *,
         periodic_interval: float = 60.0,
         periodic_callbacks: Optional[List[PeriodicCallback]] = None,
+        event_engine: "SimulationEngine | None" = None,
     ) -> None:
         if periodic_interval <= 0:
             raise ValueError("periodic_interval must be positive")
@@ -63,6 +73,7 @@ class TraceReplayer:
         self._sink = sink
         self._interval = periodic_interval
         self._callbacks: List[PeriodicCallback] = list(periodic_callbacks or [])
+        self._engine = event_engine
 
     def add_periodic_callback(self, callback: PeriodicCallback) -> None:
         """Register an additional housekeeping callback."""
@@ -95,15 +106,23 @@ class TraceReplayer:
             while next_tick <= flow.start_time:
                 self._fire_periodic(next_tick, progress)
                 next_tick += self._interval
+            self._advance_engine(flow.start_time)
             self._sink.handle_flow_arrival(flow, flow.start_time)
             progress.flows_replayed += 1
 
         while next_tick <= window_end:
             self._fire_periodic(next_tick, progress)
             next_tick += self._interval
+        self._advance_engine(window_end)
         return progress
 
     def _fire_periodic(self, now: float, progress: ReplayProgress) -> None:
+        self._advance_engine(now)
         for callback in self._callbacks:
             callback(now)
         progress.periodic_invocations += 1
+
+    def _advance_engine(self, now: float) -> None:
+        """Dispatch all coupled-engine events scheduled up to ``now``."""
+        if self._engine is not None and now >= self._engine.now:
+            self._engine.run_until(now)

@@ -1,0 +1,149 @@
+"""End-to-end tests: churn wired through ScenarioRunner and TraceReplayer."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.churn import ChurnSpec
+from repro.common.config import GroupingConfig, LazyCtrlConfig, RegroupingPolicy
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import EventKind
+from repro.topology.builder import TopologyProfile
+from repro.traffic.realistic import RealisticTraceProfile
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.trace import Trace
+
+
+def churn_scenario(churn, *, systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic")):
+    return ScenarioSpec(
+        name="churn-test",
+        topology=TopologyProfile(switch_count=8, host_count=80, seed=7),
+        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=2_000, seed=7)),
+        systems=systems,
+        schedule=ScheduleSpec(duration_hours=6.0, bucket_hours=2.0),
+        config=LazyCtrlConfig(
+            grouping=GroupingConfig(group_size_limit=3, random_seed=7),
+            regrouping=RegroupingPolicy(churn_event_trigger=10),
+        ),
+        churn=churn,
+    )
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance criteria, at test scale."""
+
+    def test_churn_records_attributed_regrouping_under_dynamic_grouping(self):
+        spec = churn_scenario(
+            ChurnSpec(seed=7, migration_rate_per_hour=12.0, drift_rate_per_hour=2.0)
+        )
+        result = ScenarioRunner().run(spec)
+        dynamic = result.result_for("lazyctrl-dynamic")
+        assert dynamic.churn is not None
+        assert dynamic.churn.total_events() > 0
+        assert dynamic.churn.churn_attributed_regroupings >= 1
+        # The static variant experiences the same churn but never regroups.
+        static = result.result_for("lazyctrl-static")
+        assert static.churn is not None
+        assert static.churn.churn_attributed_regroupings == 0
+        assert sum(static.updates_per_hour) == 0
+
+    def test_zero_rate_churn_reproduces_static_results_bit_for_bit(self):
+        base = dataclasses.replace(churn_scenario(None), churn=None)
+        with_zero = dataclasses.replace(base, churn=ChurnSpec(seed=7))
+        runs_base = ScenarioRunner().run(base).runs
+        runs_zero = ScenarioRunner().run(with_zero).runs
+        payload_base = {name: run.to_dict() for name, run in runs_base.items()}
+        payload_zero = {name: run.to_dict() for name, run in runs_zero.items()}
+        assert json.dumps(payload_base, sort_keys=True) == json.dumps(payload_zero, sort_keys=True)
+
+    def test_every_system_experiences_identical_churn(self):
+        spec = churn_scenario(
+            ChurnSpec(
+                seed=7,
+                migration_rate_per_hour=10.0,
+                tenant_arrival_rate_per_hour=1.0,
+                tenant_departure_rate_per_hour=0.5,
+            )
+        )
+        result = ScenarioRunner().run(spec)
+        summaries = {
+            name: dataclasses.replace(run.churn, churn_attributed_regroupings=0)
+            for name, run in result.runs.items()
+        }
+        values = list(summaries.values())
+        assert values[0].total_events() > 0
+        assert all(value == values[0] for value in values)
+
+
+class TestDepartureHandling:
+    def test_departed_flows_are_skipped_and_counted(self):
+        spec = churn_scenario(
+            ChurnSpec(seed=7, tenant_departure_rate_per_hour=2.0),
+            systems=("openflow", "lazyctrl-dynamic"),
+        )
+        result = ScenarioRunner().run(spec)
+        for run in result.runs.values():
+            assert run.churn.tenant_departures > 0
+            assert run.counters.departed_flows > 0
+
+    def test_results_with_churn_round_trip_via_save_load(self, tmp_path):
+        spec = churn_scenario(
+            ChurnSpec(seed=7, migration_rate_per_hour=6.0),
+            systems=("lazyctrl-dynamic",),
+        )
+        result = ScenarioRunner().run(spec)
+        path = result.save(tmp_path / "churn-result.json")
+        loaded = type(result).load(path)
+        assert loaded.spec == result.spec
+        assert loaded.runs == result.runs
+
+
+class TestReplayerEngineCoupling:
+    class _RecordingSink:
+        def __init__(self):
+            self.order = []
+
+        def handle_flow_arrival(self, flow, now):
+            self.order.append(("flow", now))
+
+    def test_engine_events_interleave_with_flows_in_time_order(self):
+        from repro.topology.builder import build_multi_tenant_datacenter
+        from repro.traffic.flow import FlowRecord
+
+        network = build_multi_tenant_datacenter(TopologyProfile(switch_count=2, host_count=20, seed=3))
+        flows = [
+            FlowRecord(flow_id=i, src_host_id=0, dst_host_id=1, start_time=100.0 * (i + 1),
+                       packet_count=1, byte_count=100)
+            for i in range(5)
+        ]
+        trace = Trace("t", network, flows)
+        sink = self._RecordingSink()
+        engine = SimulationEngine()
+        for when in (50.0, 250.0, 260.0, 450.0):
+            engine.schedule_at(
+                when, EventKind.TIMER,
+                callback=lambda event: sink.order.append(("event", event.time)),
+            )
+        replayer = TraceReplayer(trace, sink, periodic_interval=1000.0, event_engine=engine)
+        replayer.replay(start=0.0, end=500.0)
+        assert sink.order == sorted(sink.order, key=lambda item: item[1])
+        assert [kind for kind, _ in sink.order] == [
+            "event", "flow", "flow", "event", "event", "flow", "flow", "event",
+        ]
+
+    def test_without_engine_behaviour_is_unchanged(self):
+        from repro.topology.builder import build_multi_tenant_datacenter
+        from repro.traffic.flow import FlowRecord
+
+        network = build_multi_tenant_datacenter(TopologyProfile(switch_count=2, host_count=20, seed=3))
+        trace = Trace("t", network, [
+            FlowRecord(flow_id=0, src_host_id=0, dst_host_id=1, start_time=30.0,
+                       packet_count=1, byte_count=100)
+        ])
+        sink = self._RecordingSink()
+        progress = TraceReplayer(trace, sink, periodic_interval=60.0).replay(start=0.0, end=120.0)
+        assert progress.flows_replayed == 1
+        assert progress.periodic_invocations == 2

@@ -58,6 +58,55 @@ class TestRun:
         assert "unknown preset" in capsys.readouterr().err
 
 
+class TestChurnFlags:
+    def test_churn_rate_flag_enables_churn(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "lazyctrl-dynamic",
+                     "--churn-rate", "10", "--churn-seed", "5", "--out", str(out_path)])
+        assert code == 0
+        assert "Churn events" in capsys.readouterr().out
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.churn is not None
+        assert result.spec.churn.migration_rate_per_hour == 10.0
+        assert result.spec.churn.seed == 5
+        run = result.runs["lazyctrl-dynamic"]
+        assert run.churn is not None and run.churn.migrations > 0
+
+    def test_churn_preset_runs(self, capsys):
+        assert main(["run", "churn-migration", *RUN_SMALL]) == 0
+        assert "Churn events" in capsys.readouterr().out
+
+    def test_churn_rate_zero_disables_preset_churn(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "churn-migration", *RUN_SMALL, "--systems", "openflow",
+                     "--churn-rate", "0", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        # Rates all zero -> inert spec -> no churn block in the run.
+        assert result.runs["openflow"].churn is None
+
+
+class TestBench:
+    def test_bench_writes_machine_readable_files(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "churn-migration", *RUN_SMALL,
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        path = tmp_path / "BENCH_churn-migration.json"
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert payload["scenario"] == "churn-migration"
+        assert payload["runtime_seconds"] > 0
+        for record in payload["systems"].values():
+            assert {"total_controller_requests", "grouping_updates", "mean_krps",
+                    "churn_events"} <= set(record)
+        dynamic = payload["systems"]["lazyctrl-dynamic"]
+        assert dynamic["churn_events"] > 0
+
+    def test_bench_unknown_preset_fails(self, tmp_path, capsys):
+        assert main(["bench", "--presets", "nope", "--out-dir", str(tmp_path)]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_compare_saved_results(self, tmp_path, capsys):
         out_path = tmp_path / "results.json"
@@ -73,6 +122,30 @@ class TestCompare:
         capsys.readouterr()
         assert main(["compare", str(out_path), "--baseline", "lazyctrl-static"]) == 0
         assert "LazyCtrl (static)" in capsys.readouterr().out
+
+    def test_compare_rejects_spec_file_with_helpful_error(self, tmp_path, capsys):
+        spec = ScenarioSpec(name="just-a-spec", systems=("openflow",))
+        path = spec.save(tmp_path / "spec.json")
+        assert main(["compare", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not a results file" in err and "run --out" in err
+
+    def test_compare_unknown_baseline_fails_cleanly(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_path), "--baseline", "no-such-plane"]) == 2
+        assert "no run for 'no-such-plane'" in capsys.readouterr().err
+
+    def test_switch_override_resizes_grouping_config(self, tmp_path, capsys):
+        # Shrinking a preset topology must re-run the group-size heuristic,
+        # otherwise every switch lands in one group and the comparison is
+        # meaningless (0 inter-group flows, fake 100% reduction).
+        out_path = tmp_path / "results.json"
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--out", str(out_path)]) == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.config.grouping.group_size_limit == 4  # max(4, 8 // 6)
 
     def test_compare_missing_file_fails(self, capsys):
         assert main(["compare", "/definitely/not/here.json"]) == 2

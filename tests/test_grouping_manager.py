@@ -101,3 +101,107 @@ class TestCheckTriggers:
         # A 10 % increase does not reach the 30 % trigger.
         decision = manager.check(300.0, workload_rps=1100.0)
         assert not decision.regrouped
+
+
+def observe_cross_boundary_traffic(manager: GroupingManager) -> None:
+    """Traffic crossing the initial group boundary, so an update helps."""
+    for i in range(5, 10):
+        for j in range(10, 15):
+            manager.observe_flow(i, j, 30.0)
+
+
+class TestBoundaryInclusivity:
+    """§IV-B comparisons are inclusive: exact boundaries trigger (both sides)."""
+
+    def test_exact_min_interval_and_exact_growth_trigger(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        observe_cross_boundary_traffic(manager)
+        # Exactly the minimum interval elapsed, exactly 30 % growth.
+        decision = manager.check(120.0, workload_rps=130.0)
+        assert decision.regrouped
+        assert decision.reason == "workload growth"
+
+    def test_just_below_min_interval_blocks(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        observe_cross_boundary_traffic(manager)
+        decision = manager.check(119.999, workload_rps=130.0)
+        assert not decision.regrouped
+        assert "minimum update interval" in decision.reason
+
+    def test_just_below_growth_trigger_does_not_fire(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        decision = manager.check(300.0, workload_rps=129.9)
+        assert not decision.regrouped
+        assert decision.reason == "no trigger fired"
+
+    def test_exact_growth_from_float_arithmetic_still_triggers(self):
+        # 0.1 + 0.2 style float noise must not push an exact 30 % growth
+        # below the trigger.
+        manager = make_manager()
+        baseline = 0.3 + 0.3 + 0.1  # 0.7000000000000001
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=baseline)
+        observe_cross_boundary_traffic(manager)
+        decision = manager.check(300.0, workload_rps=baseline * 1.3)
+        assert decision.regrouped
+
+    def test_exact_max_interval_counts_as_stale(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        # No growth, no helpful traffic change: only staleness can fire.
+        decision = manager.check(7200.0, workload_rps=100.0)
+        assert decision.regrouped
+        assert decision.reason == "max interval elapsed"
+
+
+class TestChurnTrigger:
+    def test_accumulated_churn_triggers_regrouping(self):
+        manager = make_manager(
+            policy=RegroupingPolicy(min_interval_seconds=120.0, churn_event_trigger=5)
+        )
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        observe_cross_boundary_traffic(manager)
+        manager.note_churn(5)
+        decision = manager.check(300.0, workload_rps=100.0)
+        assert decision.regrouped
+        assert decision.reason == "topology churn"
+        assert manager.churn_attributed_update_count == 1
+        assert manager.churn_events_since_update == 0
+
+    def test_churn_below_trigger_does_not_fire(self):
+        manager = make_manager(
+            policy=RegroupingPolicy(min_interval_seconds=120.0, churn_event_trigger=5)
+        )
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        manager.note_churn(4)
+        decision = manager.check(300.0, workload_rps=100.0)
+        assert not decision.regrouped
+        assert decision.reason == "no trigger fired"
+
+    def test_zero_trigger_disables_churn_regrouping(self):
+        manager = make_manager(
+            policy=RegroupingPolicy(min_interval_seconds=120.0, churn_event_trigger=0)
+        )
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        manager.note_churn(1000)
+        decision = manager.check(300.0, workload_rps=100.0)
+        assert not decision.regrouped
+
+    def test_regrouping_with_pending_churn_is_attributed(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        observe_cross_boundary_traffic(manager)
+        manager.note_churn(3)  # below the trigger, but pending
+        decision = manager.check(300.0, workload_rps=200.0)  # growth fires
+        assert decision.regrouped and decision.reason == "workload growth"
+        assert manager.churn_attributed_update_count == 1
+
+    def test_regrouping_without_churn_is_not_attributed(self):
+        manager = make_manager()
+        manager.initial_grouping(warmup_matrix(), now=0.0, workload_rps=100.0)
+        observe_cross_boundary_traffic(manager)
+        decision = manager.check(300.0, workload_rps=200.0)
+        assert decision.regrouped
+        assert manager.churn_attributed_update_count == 0

@@ -1,0 +1,131 @@
+"""Regression tests: Optional dataclass fields through the generic serializer.
+
+Audit of :mod:`repro.common.serialize` for the reported "`failures` block
+dropped on round-trip when ``None`` fields are interleaved": the converters
+must (a) emit ``Optional`` blocks that are set, (b) emit explicit ``null``
+for ones that are not, (c) revive both, and (d) tolerate older payloads that
+omit newer optional keys entirely.  These tests pin all four behaviours at
+every level the CLI exercises — spec dicts, ``ScenarioSpec.save/load``, and
+``ScenarioResult.save/load`` with a populated ``failures`` plan.
+"""
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.churn import ChurnRunResult, ChurnSpec
+from repro.common.serialize import dataclass_from_dict, dataclass_to_dict, from_jsonable
+from repro.core.results import RunResult
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.topology.builder import TopologyProfile
+from repro.traffic.realistic import RealisticTraceProfile
+
+
+def full_spec() -> ScenarioSpec:
+    """A spec with every Optional block populated, interleaved with None fields.
+
+    ``traffic.synthetic`` stays ``None`` between the populated ``realistic``
+    profile and the populated ``failures``/``churn`` blocks — the field
+    layout the regression report describes.
+    """
+    return ScenarioSpec(
+        name="optional-roundtrip",
+        topology=TopologyProfile(switch_count=8, host_count=60, seed=3),
+        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=400, seed=3)),
+        systems=("openflow", "lazyctrl-dynamic"),
+        schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
+        failures=FailureInjectionSpec(at_hours=(0.5, 1.5), switches_per_event=2),
+        churn=ChurnSpec(migration_rate_per_hour=4.0),
+    )
+
+
+class TestSpecRoundTrip:
+    def test_failures_block_survives_interleaved_none_fields(self):
+        spec = full_spec()
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert data["traffic"]["synthetic"] is None
+        assert data["failures"] == {"at_hours": [0.5, 1.5], "switches_per_event": 2}
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt == spec
+        assert rebuilt.failures == spec.failures
+        assert rebuilt.churn == spec.churn
+
+    def test_explicit_null_optional_blocks_revive_as_none(self):
+        spec = dataclasses.replace(full_spec(), failures=None, churn=None)
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert data["failures"] is None and data["churn"] is None
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt.failures is None and rebuilt.churn is None
+
+    def test_omitted_optional_keys_default_to_none(self):
+        # Payloads written before a new Optional field existed must load.
+        data = full_spec().to_dict()
+        del data["failures"]
+        del data["churn"]
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt.failures is None and rebuilt.churn is None
+
+    def test_spec_file_round_trip(self, tmp_path):
+        spec = full_spec()
+        path = spec.save(tmp_path / "spec.json")
+        assert ScenarioSpec.load(path) == spec
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self) -> ScenarioResult:
+        return ScenarioRunner().run(full_spec())
+
+    def test_save_load_preserves_failures_and_churn(self, result, tmp_path):
+        path = result.save(tmp_path / "result.json")
+        loaded = ScenarioResult.load(path)
+        assert loaded.spec == result.spec
+        assert loaded.spec.failures == result.spec.failures
+        assert loaded.runs == result.runs
+
+    def test_run_without_churn_serializes_churn_as_null(self, result):
+        run = result.runs["openflow"]
+        data = dataclasses.replace(run, churn=None).to_dict()
+        assert data["churn"] is None
+        assert RunResult.from_dict(json.loads(json.dumps(data))).churn is None
+
+    def test_old_run_payload_without_new_keys_loads(self, result):
+        data = result.runs["openflow"].to_dict()
+        del data["churn"]
+        del data["counters"]["departed_flows"]
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt.churn is None
+        assert rebuilt.counters.departed_flows == 0
+
+
+class TestGenericConverters:
+    def test_interleaved_none_fields_in_nested_optionals(self):
+        @dataclasses.dataclass(frozen=True)
+        class Inner:
+            value: int = 0
+
+        @dataclasses.dataclass(frozen=True)
+        class Outer:
+            first: Optional[Inner] = None
+            second: Optional[Inner] = None
+            third: Optional[Tuple[float, ...]] = None
+            fourth: int = 4
+
+        outer = Outer(second=Inner(2), third=(1.0, 2.0))
+        data = json.loads(json.dumps(dataclass_to_dict(outer)))
+        assert data == {"first": None, "second": {"value": 2}, "third": [1.0, 2.0], "fourth": 4}
+        assert dataclass_from_dict(Outer, data) == outer
+
+    def test_optional_churn_run_result_round_trips(self):
+        churn = ChurnRunResult(migrations=3, per_bucket_events=[1.0, 2.0, 0.0])
+        data = json.loads(json.dumps(dataclass_to_dict(churn)))
+        assert dataclass_from_dict(ChurnRunResult, data) == churn
+
+    def test_numeric_dict_keys_survive_json_stringification(self):
+        # json.dumps turns numeric keys into strings; the deserializer must
+        # revive them from the annotation.
+        assert from_jsonable(Dict[int, float], {"3": 1.5}) == {3: 1.5}
+        assert from_jsonable(Dict[float, int], {"2.5": 7}) == {2.5: 7}
