@@ -48,6 +48,7 @@ from repro.core.scenario import (
 )
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
 from repro.partitioning.sgi import Grouping, SgiGrouper
+from repro.perf import PerfRecorder, PerfSnapshot
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
 from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
 
@@ -64,6 +65,8 @@ __all__ = [
     "LazyCtrlConfig",
     "LazyCtrlSystem",
     "OpenFlowSystem",
+    "PerfRecorder",
+    "PerfSnapshot",
     "Preset",
     "RealisticTraceGenerator",
     "RealisticTraceProfile",

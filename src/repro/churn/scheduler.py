@@ -12,8 +12,7 @@ Fig. 8 update-frequency series).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
 
 from repro.churn.processes import ChurnProcess, ChurnTarget, build_processes
 from repro.churn.results import ChurnRunResult

@@ -33,6 +33,13 @@ class MacAddress:
         if not 0 <= self.value <= _MAC_MAX:
             raise AddressError(f"MAC value out of range: {self.value!r}")
 
+    def __hash__(self) -> int:
+        # MAC addresses key every forwarding table on the replay hot path;
+        # hashing the integer directly skips the generated implementation's
+        # per-call field-tuple build.  Consistent with the generated __eq__
+        # (equal value ⇒ equal hash).
+        return hash(self.value)
+
     @classmethod
     def parse(cls, text: str) -> "MacAddress":
         """Parse the canonical ``aa:bb:cc:dd:ee:ff`` notation."""

@@ -98,13 +98,33 @@ class Packet:
         """Whether the packet is an ARP request or reply."""
         return self.kind in (PacketKind.ARP_REQUEST, PacketKind.ARP_REPLY)
 
+    def _with_encap(self, encap: Optional[EncapHeader]) -> "Packet":
+        """Copy of this packet with ``encap`` swapped.
+
+        Constructed field by field rather than via ``dataclasses.replace``:
+        encap/decap happens once per intra-group copy on the replay hot path
+        and ``replace`` pays field introspection on every call.  Keep the
+        field list in sync with the dataclass definition above.
+        """
+        return Packet(
+            kind=self.kind,
+            src_mac=self.src_mac,
+            dst_mac=self.dst_mac,
+            tenant_id=self.tenant_id,
+            size_bytes=self.size_bytes,
+            created_at=self.created_at,
+            encap=encap,
+            flow_id=self.flow_id,
+            packet_id=self.packet_id,
+        )
+
     def encapsulate(self, header: EncapHeader) -> "Packet":
         """Return a copy of this packet wrapped in ``header``."""
-        return replace(self, encap=header)
+        return self._with_encap(header)
 
     def decapsulate(self) -> "Packet":
         """Return a copy of this packet with the encapsulation header removed."""
-        return replace(self, encap=None)
+        return self._with_encap(None)
 
     def with_created_at(self, timestamp: float) -> "Packet":
         """Return a copy stamped with a new creation time."""
@@ -123,6 +143,12 @@ class FlowKey:
     src_mac: MacAddress
     dst_mac: MacAddress
     tenant_id: int
+
+    def __hash__(self) -> int:
+        # Flow keys are looked up in every switch's flow table per packet;
+        # hashing the raw integers skips three nested dataclass hashes.
+        # Consistent with the generated __eq__ (equal fields ⇒ equal hash).
+        return hash((self.src_mac.value, self.dst_mac.value, self.tenant_id))
 
     def reversed(self) -> "FlowKey":
         """Return the key of the reverse direction of this flow."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import types
-from typing import Any, Dict, Tuple, Union, get_args, get_origin, get_type_hints
+from typing import Any, Dict, Union, get_args, get_origin, get_type_hints
 
 _HINT_CACHE: Dict[type, Dict[str, Any]] = {}
 

@@ -10,7 +10,7 @@ overhead.  Channels do not move real bytes; the control logic calls
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.errors import ChannelError

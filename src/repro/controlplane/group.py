@@ -14,8 +14,8 @@ affinity that carries out distributed control among themselves (paper
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ControlPlaneError
 from repro.controlplane.channels import ChannelRegistry, ChannelType
@@ -56,6 +56,9 @@ class LocalControlGroup:
         self._ring_order: List[int] = []
         self.peer_messages_sent = 0
         self.state_reports_sent = 0
+        # L-FIB versions as of the last state report, per member; lets the
+        # designated switch skip re-serializing unchanged tables.
+        self._reported_lfib_versions: Dict[int, int] = {}
 
         self._select_designated(backup_count)
         self._build_ring()
@@ -203,13 +206,32 @@ class LocalControlGroup:
         self.peer_messages_sent += messages
         return messages
 
-    def build_state_report(self, *, timestamp: float = 0.0) -> GroupStateReportMessage:
-        """Aggregate every member's L-FIB into a state report for the controller."""
+    def build_state_report(self, *, timestamp: float = 0.0, only_changes: bool = False) -> GroupStateReportMessage:
+        """Aggregate member L-FIBs into a state report for the controller.
+
+        With ``only_changes=True`` the report carries only the L-FIBs whose
+        version changed since the previous ``only_changes`` report — the
+        asynchronous-dissemination optimization the periodic sync uses.  The
+        controller's C-LIB merge is idempotent, so skipping unchanged tables
+        yields the identical C-LIB at a fraction of the serialization cost.
+        A report with no changed members is still sent (it doubles as the
+        state-link keep-alive).
+        """
         self.state_reports_sent += 1
+        if only_changes:
+            snapshots = {}
+            reported = self._reported_lfib_versions
+            for switch_id, switch in self._members.items():
+                version = switch.lfib.version
+                if reported.get(switch_id) != version:
+                    snapshots[switch_id] = switch.lfib_snapshot()
+                    reported[switch_id] = version
+        else:
+            snapshots = {switch_id: switch.lfib_snapshot() for switch_id, switch in self._members.items()}
         return GroupStateReportMessage.create(
             self.group_id,
             self.designated_switch_id,
-            {switch_id: switch.lfib_snapshot() for switch_id, switch in self._members.items()},
+            snapshots,
             timestamp,
         )
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ControlPlaneError
@@ -33,6 +33,7 @@ from repro.controlplane.grouping_manager import GroupingManager
 from repro.controlplane.messages import GroupConfigMessage, GroupStateReportMessage
 from repro.controlplane.tenant_manager import TenantManager
 from repro.partitioning.sgi import Grouping
+from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.metrics import CounterSeries, WorkloadMeter
 from repro.topology.network import DataCenterNetwork
 
@@ -75,6 +76,7 @@ class LazyCtrlController:
 
         self.workload_series = CounterSeries(workload_bucket_seconds)
         self.workload_meter = WorkloadMeter(window_seconds=60.0)
+        self.perf = NULL_RECORDER
         self.total_requests = 0
         self.flow_mods_sent = 0
         self.arp_relays = 0
@@ -197,10 +199,15 @@ class LazyCtrlController:
         return changed
 
     def collect_state_reports(self, *, now: float = 0.0) -> int:
-        """Pull a state report from every group (periodic asynchronous sync)."""
+        """Pull a state report from every group (periodic asynchronous sync).
+
+        Reports are incremental: each group serializes only the L-FIBs that
+        changed since its previous periodic report (the C-LIB merge is
+        idempotent, so the resulting controller state is identical).
+        """
         changed = 0
         for group in self._groups.values():
-            report = group.build_state_report(timestamp=now)
+            report = group.build_state_report(timestamp=now, only_changes=True)
             channel = self._channels.get_or_create(
                 ChannelType.STATE_LINK, "controller", f"switch:{group.designated_switch_id}"
             )
@@ -293,6 +300,7 @@ class LazyCtrlController:
         self.total_requests += 1
         self.workload_series.record(now)
         self.workload_meter.record(now)
+        self.perf.count("controller.requests")
 
     # -- periodic housekeeping ---------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.common.addresses import MacAddress
 from repro.common.packets import FlowKey, Packet
 from repro.datastructures.flow_table import ActionType, FlowAction
 from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
+from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.metrics import CounterSeries, WorkloadMeter
 
 
@@ -38,6 +39,7 @@ class OpenFlowController:
         self._learned_locations: Dict[MacAddress, int] = {}
         self.workload_series = CounterSeries(workload_bucket_seconds)
         self.workload_meter = WorkloadMeter(window_seconds=60.0)
+        self.perf = NULL_RECORDER
         self.total_requests = 0
         self.arp_floods = 0
         self.flow_mods_sent = 0
@@ -130,6 +132,7 @@ class OpenFlowController:
         self.total_requests += 1
         self.workload_series.record(now)
         self.workload_meter.record(now)
+        self.perf.count("controller.requests")
 
     def _install_rule(self, ingress_switch_id: int, packet: Packet, egress_switch_id: int, now: float) -> None:
         switch = self._switches.get(ingress_switch_id)

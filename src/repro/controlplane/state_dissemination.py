@@ -18,7 +18,7 @@ generates so the control-plane overhead can be reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ControlPlaneError

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.churn.results import ChurnRunResult
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
+from repro.perf.report import PerfSnapshot
 
 
 class FlowPathKind(enum.Enum):
@@ -120,6 +121,9 @@ class RunResult:
     total_controller_requests: int
     failover_events: int = 0
     churn: Optional[ChurnRunResult] = None
+    # Present only when the run was instrumented (repro profile / bench);
+    # an uninstrumented run serializes exactly as before.
+    perf: Optional[PerfSnapshot] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of this run."""

@@ -19,6 +19,7 @@ import math
 import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.churn.scheduler import ChurnScheduler
@@ -33,6 +34,8 @@ from repro.core.results import (
     WorkloadSeriesResult,
 )
 from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec
+from repro.perf.recorder import NULL_RECORDER, PerfRecorder
+from repro.perf.report import PerfSnapshot
 from repro.simulation.engine import SimulationEngine
 from repro.traffic.replay import TraceReplayer
 from repro.traffic.trace import Trace
@@ -122,8 +125,13 @@ class _FailureInjector:
 class ScenarioRunner:
     """Runs declarative scenarios against registered control planes."""
 
-    def run(self, spec: ScenarioSpec) -> ScenarioResult:
-        """Materialize ``spec`` and run every selected control plane on it."""
+    def run(self, spec: ScenarioSpec, *, collect_perf: bool = False) -> ScenarioResult:
+        """Materialize ``spec`` and run every selected control plane on it.
+
+        With ``collect_perf=True`` every run is instrumented with a
+        :class:`~repro.perf.recorder.PerfRecorder` and carries a
+        :class:`~repro.perf.report.PerfSnapshot` on ``RunResult.perf``.
+        """
         # Resolve every name up front so a typo fails before minutes of replay.
         entries = [get_control_plane(name) for name in spec.systems]
         base_trace = spec.build_trace(spec.build_network())
@@ -145,6 +153,7 @@ class ScenarioRunner:
                 config=spec.config,
                 failures=spec.failures,
                 churn=spec.churn,
+                perf=PerfRecorder() if collect_perf else None,
             )
         return ScenarioResult(spec=spec, runs=runs)
 
@@ -190,8 +199,15 @@ class ScenarioRunner:
         label: Optional[str] = None,
         failures: Optional[FailureInjectionSpec] = None,
         churn: Optional[ChurnSpec] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> RunResult:
         """Drive one registered control plane over an already-built trace.
+
+        ``perf`` instruments the replay: stage timings and counters are
+        collected into the recorder and the resulting
+        :class:`~repro.perf.report.PerfSnapshot` rides on the returned
+        :class:`RunResult`.  Without it, every component keeps the shared
+        null recorder and the replay is byte-for-byte the uninstrumented one.
 
         When ``churn`` is active and the control plane exposes the churn
         hooks, the churn events are scheduled onto a simulation engine that
@@ -213,6 +229,8 @@ class ScenarioRunner:
             workload_bucket_seconds=schedule.bucket_seconds,
             latency_bucket_seconds=schedule.bucket_seconds,
         )
+        if perf is not None and hasattr(plane, "set_perf_recorder"):
+            plane.set_perf_recorder(perf)
         plane.prepare(trace, warmup_end=schedule.warmup_seconds)
 
         callbacks = [plane.periodic]
@@ -239,10 +257,28 @@ class ScenarioRunner:
             periodic_interval=schedule.periodic_interval_seconds,
             periodic_callbacks=callbacks,
             event_engine=engine,
+            perf=perf if perf is not None else NULL_RECORDER,
         )
-        replayer.replay(start=0.0, end=schedule.duration_seconds)
+        started = perf_counter()
+        progress = replayer.replay(start=0.0, end=schedule.duration_seconds)
+        wall_seconds = perf_counter() - started
+
+        perf_snapshot: Optional[PerfSnapshot] = None
+        if perf is not None:
+            if hasattr(plane, "fold_perf_counters"):
+                plane.fold_perf_counters()
+            perf.count("replay.flows_replayed", progress.flows_replayed)
+            perf.count("replay.periodic_invocations", progress.periodic_invocations)
+            perf_snapshot = perf.snapshot(
+                wall_seconds=wall_seconds, flows_replayed=progress.flows_replayed
+            )
         return self._collect(
-            entry.label if label is None else label, plane, schedule, injector, scheduler
+            entry.label if label is None else label,
+            plane,
+            schedule,
+            injector,
+            scheduler,
+            perf_snapshot,
         )
 
     # -- result collection -----------------------------------------------------
@@ -254,6 +290,7 @@ class ScenarioRunner:
         schedule: ScheduleSpec,
         injector: Optional[_FailureInjector] = None,
         churn_scheduler: Optional[ChurnScheduler] = None,
+        perf_snapshot: Optional[PerfSnapshot] = None,
     ) -> RunResult:
         # Ceil so a partial final bucket is reported rather than dropped
         # (its rate is still averaged over a full bucket width).
@@ -294,6 +331,7 @@ class ScenarioRunner:
             total_controller_requests=plane.total_controller_requests(),
             failover_events=injector.events if injector is not None else 0,
             churn=churn_result,
+            perf=perf_snapshot,
         )
 
 

@@ -22,6 +22,7 @@ from repro.dataplane.edge_switch import LazyCtrlEdgeSwitch
 from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
 from repro.core.results import FlowHandlingResult, FlowPathKind, SystemCounters
 from repro.partitioning.sgi import Grouping
+from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.latency import LatencyModel
 from repro.simulation.metrics import LatencyRecorder
 from repro.topology.network import DataCenterNetwork
@@ -51,6 +52,7 @@ class LazyCtrlSystem:
         self.latency_model = LatencyModel(self.config.latency)
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
+        self.perf = NULL_RECORDER
         self.failover_records: List = []
 
         for info in network.switches():
@@ -83,13 +85,13 @@ class LazyCtrlSystem:
 
     def handle_flow_arrival(self, flow: FlowRecord, now: float) -> Optional[FlowHandlingResult]:
         """Handle one replayed flow: first-packet path decision + accounting."""
-        if not (self.network.has_host(flow.src_host_id) and self.network.has_host(flow.dst_host_id)):
+        src_host = self.network.host_if_present(flow.src_host_id)
+        dst_host = self.network.host_if_present(flow.dst_host_id)
+        if src_host is None or dst_host is None:
             # An endpoint's tenant departed mid-run (workload churn): the
             # flow never materializes and generates no control-plane work.
             self.counters.departed_flows += 1
             return None
-        src_host = self.network.host(flow.src_host_id)
-        dst_host = self.network.host(flow.dst_host_id)
         src_switch = self.controller.switch(src_host.switch_id)
         packet = make_data_packet(
             src_host.mac,
@@ -105,20 +107,21 @@ class LazyCtrlSystem:
         duplicates = decision.duplicate_count
         false_positive_drop = False
         controller_involved = False
+        latency_model = self.latency_model
 
         if decision.outcome == ForwardingOutcome.LOCAL_DELIVERY:
             path = FlowPathKind.LOCAL
-            first = self.latency_model.local_delivery().total_ms
+            first = latency_model.local_delivery_ms()
             steady = first
             self.counters.local_flows += 1
         elif decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT:
             path = FlowPathKind.FLOW_TABLE
-            first = self.latency_model.flow_table_hit_delivery().total_ms
+            first = latency_model.flow_table_hit_ms()
             steady = first
         elif decision.outcome == ForwardingOutcome.INTRA_GROUP_FORWARD:
             path = FlowPathKind.INTRA_GROUP
-            first = self.latency_model.intra_group_delivery(duplicate_targets=len(decision.target_switches)).total_ms
-            steady = self.latency_model.intra_group_delivery().total_ms
+            first = latency_model.intra_group_ms(len(decision.target_switches))
+            steady = latency_model.intra_group_ms()
             self.counters.intra_group_flows += 1
             false_positive_drop = self._deliver_intra_group_copies(decision, dst_host.switch_id, now)
         else:
@@ -127,8 +130,8 @@ class LazyCtrlSystem:
             controller_involved = True
             load = self.controller.current_load_rps(now)
             result = self.controller.handle_packet_in(src_host.switch_id, packet, now)
-            first = self.latency_model.inter_group_setup(load).total_ms
-            steady = self.latency_model.flow_table_hit_delivery().total_ms
+            first = latency_model.inter_group_setup_ms(load)
+            steady = latency_model.flow_table_hit_ms()
             self.counters.inter_group_flows += 1
             self.counters.controller_requests += 1
             if result.egress_switch_id is None:
@@ -177,14 +180,50 @@ class LazyCtrlSystem:
 
     def periodic(self, now: float) -> None:
         """Periodic housekeeping: state reports and the regrouping check."""
-        self.controller.collect_state_reports(now=now)
-        self.controller.periodic_check(now)
+        perf = self.perf
+        with perf.timeit("dissemination"):
+            self.controller.collect_state_reports(now=now)
+        with perf.timeit("regrouping"):
+            self.controller.periodic_check(now)
 
     # -- ControlPlane protocol (runner-facing) ------------------------------------------
 
     def prepare(self, trace, *, warmup_end: float, now: float = 0.0) -> None:
         """Provision the initial grouping from the trace's warm-up window."""
         self.install_initial_grouping(trace, warmup_end=warmup_end, now=now)
+
+    def set_perf_recorder(self, recorder) -> None:
+        """Attach a perf recorder to the system and its controller."""
+        self.perf = recorder
+        self.controller.perf = recorder
+
+    def fold_perf_counters(self) -> None:
+        """Fold data-plane counters into the recorder (end-of-replay snapshot).
+
+        The per-packet counters live on the switches themselves so the hot
+        path never pays for instrumentation; this aggregates them into the
+        recorder's registry once, when a snapshot is about to be taken.
+        """
+        perf = self.perf
+        if not perf.enabled:
+            return
+        queries = cache_hits = packets = to_controller = table_hits = table_misses = 0
+        for switch in self.controller.switches():
+            packets += switch.packets_processed
+            to_controller += switch.packets_to_controller
+            queries += switch.gfib.query_count
+            cache_hits += switch.gfib.query_cache_hits
+            table_hits += switch.flow_table.stats.hits
+            table_misses += switch.flow_table.stats.misses
+        perf.count("edge.packets_processed", packets)
+        perf.count("edge.packets_to_controller", to_controller)
+        perf.count("edge.gfib_queries", queries)
+        perf.count("edge.gfib_query_cache_hits", cache_hits)
+        perf.count("edge.flow_table_hits", table_hits)
+        perf.count("edge.flow_table_misses", table_misses)
+        perf.count("controller.flow_mods", self.controller.flow_mods_sent)
+        perf.count("controller.arp_relays", self.controller.arp_relays)
+        perf.count("controller.group_config_messages", self.controller.group_config_messages)
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""
@@ -277,6 +316,7 @@ class OpenFlowSystem:
         self.latency_model = LatencyModel(self.config.latency)
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
+        self.perf = NULL_RECORDER
 
         self._switches: Dict[int, OpenFlowEdgeSwitch] = {}
         for info in network.switches():
@@ -299,11 +339,11 @@ class OpenFlowSystem:
 
     def handle_flow_arrival(self, flow: FlowRecord, now: float) -> Optional[FlowHandlingResult]:
         """Handle one replayed flow under reactive centralized control."""
-        if not (self.network.has_host(flow.src_host_id) and self.network.has_host(flow.dst_host_id)):
+        src_host = self.network.host_if_present(flow.src_host_id)
+        dst_host = self.network.host_if_present(flow.dst_host_id)
+        if src_host is None or dst_host is None:
             self.counters.departed_flows += 1
             return None
-        src_host = self.network.host(flow.src_host_id)
-        dst_host = self.network.host(flow.dst_host_id)
         src_switch = self._switches[src_host.switch_id]
         packet = make_data_packet(
             src_host.mac,
@@ -315,14 +355,15 @@ class OpenFlowSystem:
         decision = src_switch.process_packet(packet, now)
 
         controller_involved = False
+        latency_model = self.latency_model
         if decision.outcome == ForwardingOutcome.LOCAL_DELIVERY:
             path = FlowPathKind.LOCAL
-            first = self.latency_model.local_delivery().total_ms
+            first = latency_model.local_delivery_ms()
             steady = first
             self.counters.local_flows += 1
         elif decision.outcome == ForwardingOutcome.FLOW_TABLE_HIT:
             path = FlowPathKind.FLOW_TABLE
-            first = self.latency_model.flow_table_hit_delivery().total_ms
+            first = latency_model.flow_table_hit_ms()
             steady = first
         else:
             # Every table miss goes to the controller for reactive setup.
@@ -335,10 +376,10 @@ class OpenFlowSystem:
                 now,
                 true_destination_switch=dst_host.switch_id,
             )
-            first = self.latency_model.openflow_reactive_setup(
+            first = latency_model.openflow_reactive_ms(
                 load, needs_location_learning=result.needed_location_learning
-            ).total_ms
-            steady = self.latency_model.flow_table_hit_delivery().total_ms
+            )
+            steady = latency_model.flow_table_hit_ms()
             self.counters.controller_requests += 1
 
         self.counters.flows_handled += 1
@@ -363,6 +404,29 @@ class OpenFlowSystem:
 
     def prepare(self, trace, *, warmup_end: float, now: float = 0.0) -> None:
         """The reactive baseline needs no warm-up provisioning."""
+
+    def set_perf_recorder(self, recorder) -> None:
+        """Attach a perf recorder to the system and its controller."""
+        self.perf = recorder
+        self.controller.perf = recorder
+
+    def fold_perf_counters(self) -> None:
+        """Fold data-plane counters into the recorder (end-of-replay snapshot)."""
+        perf = self.perf
+        if not perf.enabled:
+            return
+        packets = to_controller = table_hits = table_misses = 0
+        for switch in self._switches.values():
+            packets += switch.packets_processed
+            to_controller += switch.packets_to_controller
+            table_hits += switch.flow_table.stats.hits
+            table_misses += switch.flow_table.stats.misses
+        perf.count("edge.packets_processed", packets)
+        perf.count("edge.packets_to_controller", to_controller)
+        perf.count("edge.flow_table_hits", table_hits)
+        perf.count("edge.flow_table_misses", table_misses)
+        perf.count("controller.flow_mods", self.controller.flow_mods_sent)
+        perf.count("controller.arp_floods", self.controller.arp_floods)
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""

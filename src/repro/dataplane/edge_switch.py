@@ -167,7 +167,8 @@ class LazyCtrlEdgeSwitch:
                 outcome=ForwardingOutcome.INTRA_GROUP_FORWARD,
                 switch_id=self.switch_id,
                 packet=packet,
-                target_switches=tuple(sorted(candidates)),
+                # The G-FIB returns a sorted (memoized) tuple of candidates.
+                target_switches=candidates,
                 duplicate_count=duplicates,
             )
 
@@ -218,7 +219,7 @@ class LazyCtrlEdgeSwitch:
                 outcome=ForwardingOutcome.ARP_FORWARDED_TO_DESIGNATED,
                 switch_id=self.switch_id,
                 packet=packet,
-                target_switches=tuple(sorted(candidates)),
+                target_switches=candidates,
             )
         # Level iii: escalate to the controller.
         self.packets_to_controller += 1

@@ -17,14 +17,22 @@ from __future__ import annotations
 
 import hashlib
 import math
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.common.config import BloomFilterConfig
 from repro.common.errors import ConfigurationError
 
 
+@lru_cache(maxsize=1 << 16)
 def _hash_pair(data: bytes) -> tuple[int, int]:
-    """Return two independent 64-bit hash values for ``data``."""
+    """Return two independent 64-bit hash values for ``data``.
+
+    The pair is a pure function of the bytes, so it is memoized: the replay
+    hot path hashes the same few hundred host MACs millions of times (every
+    G-FIB query and every group re-synchronization re-inserts them), and a
+    dict hit is an order of magnitude cheaper than a blake2b digest.
+    """
     digest = hashlib.blake2b(data, digest_size=16).digest()
     return int.from_bytes(digest[:8], "big"), int.from_bytes(digest[8:], "big")
 

@@ -107,7 +107,11 @@ class GroupFib:
     exactly as the paper's forwarding routine anticipates.
     """
 
-    __slots__ = ("_config", "_filters", "_exact")
+    __slots__ = ("_config", "_filters", "_exact", "_query_cache", "query_count", "query_cache_hits")
+
+    #: Cached query results are cleared wholesale past this size rather than
+    #: tracking per-entry recency; real replays query far fewer distinct MACs.
+    QUERY_CACHE_LIMIT = 8192
 
     def __init__(self, config: BloomFilterConfig | None = None, *, track_exact: bool = False) -> None:
         self._config = config or BloomFilterConfig()
@@ -115,6 +119,12 @@ class GroupFib:
         # Optional exact shadow sets used only by tests/analysis to measure the
         # empirical false-positive rate; disabled in normal operation.
         self._exact: Optional[Dict[int, set[MacAddress]]] = {} if track_exact else None
+        # Memoized query results; traffic concentrates on few destination
+        # MACs, so repeated lookups skip the per-filter Bloom membership
+        # tests.  Invalidated whenever any peer filter changes.
+        self._query_cache: Dict[MacAddress, tuple[int, ...]] = {}
+        self.query_count = 0
+        self.query_cache_hits = 0
 
     @property
     def config(self) -> BloomFilterConfig:
@@ -135,31 +145,49 @@ class GroupFib:
         mac_list = list(macs)
         bloom.add_all(mac.to_bytes() for mac in mac_list)
         self._filters[switch_id] = bloom
+        self._query_cache.clear()
         if self._exact is not None:
             self._exact[switch_id] = set(mac_list)
 
     def remove_peer(self, switch_id: int) -> None:
         """Drop the filter for a peer that left the group."""
         self._filters.pop(switch_id, None)
+        self._query_cache.clear()
         if self._exact is not None:
             self._exact.pop(switch_id, None)
 
     def clear(self) -> None:
         """Remove every peer filter (switch left its group)."""
         self._filters.clear()
+        self._query_cache.clear()
         if self._exact is not None:
             self._exact.clear()
 
-    def query(self, mac: MacAddress) -> list[int]:
-        """Return peer switch ids whose Bloom filter matches ``mac``."""
-        needle = mac.to_bytes()
-        return [switch_id for switch_id, bloom in self._filters.items() if needle in bloom]
+    def query(self, mac: MacAddress) -> tuple[int, ...]:
+        """Return peer switch ids whose Bloom filter matches ``mac``, sorted.
 
-    def query_exact(self, mac: MacAddress) -> list[int]:
+        Results are memoized until any peer filter changes; the tuple makes
+        the shared cached value immutable by construction.
+        """
+        self.query_count += 1
+        cached = self._query_cache.get(mac)
+        if cached is not None:
+            self.query_cache_hits += 1
+            return cached
+        needle = mac.to_bytes()
+        result = tuple(
+            sorted(switch_id for switch_id, bloom in self._filters.items() if needle in bloom)
+        )
+        if len(self._query_cache) >= self.QUERY_CACHE_LIMIT:
+            self._query_cache.clear()
+        self._query_cache[mac] = result
+        return result
+
+    def query_exact(self, mac: MacAddress) -> tuple[int, ...]:
         """Ground-truth query against the shadow sets (analysis only)."""
         if self._exact is None:
             raise UnknownHostError("exact tracking is disabled for this G-FIB")
-        return [switch_id for switch_id, macs in self._exact.items() if mac in macs]
+        return tuple(switch_id for switch_id, macs in self._exact.items() if mac in macs)
 
     def storage_bytes(self) -> int:
         """Total storage consumed by all peer filters, in bytes."""

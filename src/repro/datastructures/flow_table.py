@@ -11,7 +11,7 @@ idle-timeout eviction, a finite capacity and hit/miss counters.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.common.config import FlowTableConfig

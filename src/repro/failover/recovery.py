@@ -16,7 +16,7 @@ The controller reacts to detected failures with three kinds of recovery:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.errors import FailoverError

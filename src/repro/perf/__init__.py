@@ -1,0 +1,27 @@
+"""Performance instrumentation: recorders, snapshots and baseline checks.
+
+The package has three halves:
+
+* :mod:`repro.perf.recorder` — the near-zero-cost instrumentation layer
+  (:data:`NULL_RECORDER` by default, :class:`PerfRecorder` when profiling);
+* :mod:`repro.perf.report` — the serializable :class:`PerfSnapshot` carried
+  on run results and the ``repro profile`` rendering;
+* :mod:`repro.perf.baseline` — the committed-baseline comparison behind
+  ``repro bench --check``.
+"""
+
+from repro.perf.baseline import BaselineCheck, check_against_baselines, compare_payloads
+from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder
+from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
+
+__all__ = [
+    "BaselineCheck",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PerfRecorder",
+    "PerfSnapshot",
+    "StageStats",
+    "check_against_baselines",
+    "compare_payloads",
+    "format_stage_breakdown",
+]

@@ -1,0 +1,175 @@
+"""Benchmark-baseline comparison backing ``repro bench --check``.
+
+A baseline is simply a committed ``BENCH_<scenario>.json`` (the file
+``repro bench`` writes) checked into ``benchmarks/baselines/``.  The check
+compares a freshly produced payload against the committed one:
+
+* **deterministic counters** (flow counts, controller requests, grouping
+  updates, churn events) must match exactly — any drift means the replay
+  semantics changed and either a bug slipped in or the baselines must be
+  regenerated deliberately;
+* **deterministic floats** (mean/peak Krps, mean latency) must match to
+  within a relative epsilon that only absorbs JSON round-off;
+* **wall-clock metrics** (``runtime_seconds``, ``flows_per_second``) get a
+  generous tolerance band (±30 % by default).  Only *regressions* beyond the
+  band fail the check; running faster than the band produces a note
+  suggesting the baselines be refreshed, because punishing an improvement
+  would gate exactly the PRs this scheme exists to encourage.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: Per-system keys that must match bit for bit.
+EXACT_SYSTEM_KEYS = (
+    "total_controller_requests",
+    "grouping_updates",
+    "churn_events",
+    "churn_attributed_regroupings",
+    "flows_handled",
+)
+
+#: Per-system deterministic floats (replay arithmetic, not wall-clock).
+CLOSE_SYSTEM_KEYS = ("mean_krps", "peak_krps", "mean_latency_ms")
+
+#: Top-level keys that must match exactly.
+EXACT_TOP_KEYS = ("scenario", "flows", "switches", "hosts")
+
+#: Relative epsilon for deterministic floats (absorbs JSON round-off only).
+CLOSE_RELATIVE_EPSILON = 1e-9
+
+
+@dataclass(slots=True)
+class BaselineCheck:
+    """Outcome of checking one benchmark payload against its baseline."""
+
+    scenario: str
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the payload is within baseline expectations."""
+        return not self.failures
+
+
+def _close(current: float, baseline: float) -> bool:
+    return math.isclose(current, baseline, rel_tol=CLOSE_RELATIVE_EPSILON, abs_tol=1e-21)
+
+
+def compare_payloads(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: float = 0.30,
+) -> BaselineCheck:
+    """Compare one freshly produced benchmark payload against its baseline."""
+    check = BaselineCheck(scenario=str(current.get("scenario", "<unnamed>")))
+
+    for key in EXACT_TOP_KEYS:
+        if current.get(key) != baseline.get(key):
+            check.failures.append(
+                f"{key}: expected {baseline.get(key)!r}, got {current.get(key)!r}"
+            )
+
+    current_systems = current.get("systems", {})
+    baseline_systems = baseline.get("systems", {})
+    if sorted(current_systems) != sorted(baseline_systems):
+        check.failures.append(
+            f"systems: expected {sorted(baseline_systems)}, got {sorted(current_systems)}"
+        )
+    for name in sorted(set(current_systems) & set(baseline_systems)):
+        cur, base = current_systems[name], baseline_systems[name]
+        for key in EXACT_SYSTEM_KEYS:
+            if key not in base:
+                continue  # baseline predates the key; regenerating will add it
+            if cur.get(key) != base.get(key):
+                check.failures.append(
+                    f"{name}.{key}: expected {base.get(key)!r}, got {cur.get(key)!r}"
+                )
+        for key in CLOSE_SYSTEM_KEYS:
+            if key not in base:
+                continue
+            if not _close(float(cur.get(key, 0.0)), float(base[key])):
+                check.failures.append(
+                    f"{name}.{key}: expected {base[key]!r}, got {cur.get(key)!r} "
+                    "(deterministic float drifted)"
+                )
+
+    for key in ("runtime_seconds", "flows_per_second"):
+        if key not in baseline or key not in current:
+            continue
+        base_value = float(baseline[key])
+        cur_value = float(current[key])
+        if base_value <= 0:
+            continue
+        # Multiplicative band: a factor of (1 + tolerance) in either
+        # direction, so the check stays meaningful for tolerance >= 1
+        # (a subtractive lower bound would hit zero and never fire).
+        # Lower runtime / higher throughput is an improvement, never a failure.
+        regressed = (
+            cur_value > base_value * (1.0 + tolerance)
+            if key == "runtime_seconds"
+            else cur_value < base_value / (1.0 + tolerance)
+        )
+        improved = (
+            cur_value < base_value / (1.0 + tolerance)
+            if key == "runtime_seconds"
+            else cur_value > base_value * (1.0 + tolerance)
+        )
+        if regressed:
+            check.failures.append(
+                f"{key}: {cur_value:.3f} vs baseline {base_value:.3f} "
+                f"(beyond ±{tolerance:.0%} tolerance)"
+            )
+        elif improved:
+            check.notes.append(
+                f"{key}: {cur_value:.3f} beats baseline {base_value:.3f} by more than "
+                f"{tolerance:.0%} — consider regenerating benchmarks/baselines"
+            )
+    return check
+
+
+def check_against_baselines(
+    payloads: List[Dict[str, Any]],
+    baseline_dir: str | Path,
+    *,
+    tolerance: float = 0.30,
+) -> Tuple[List[BaselineCheck], List[str], List[str]]:
+    """Check freshly produced payloads against committed baseline files.
+
+    Returns ``(checks, problems, stale)``: the per-scenario checks, global
+    problems (missing baseline files — a payload without a committed
+    baseline is a failure, the whole point of the scheme is that baselines
+    live in-repo), and committed baseline files no fresh payload covered.
+    Stale files are surfaced rather than failed, because partial runs
+    (``--presets`` subsets) legitimately skip scenarios — but in a full run
+    a stale file means the perf gate silently lost coverage.
+    """
+    directory = Path(baseline_dir)
+    checks: List[BaselineCheck] = []
+    problems: List[str] = []
+    covered = set()
+    for payload in payloads:
+        scenario = str(payload.get("scenario", "<unnamed>"))
+        path = directory / f"BENCH_{scenario}.json"
+        covered.add(path.name)
+        if not path.is_file():
+            problems.append(
+                f"no committed baseline {path} — run 'repro bench' and commit the "
+                f"BENCH_{scenario}.json it writes"
+            )
+            continue
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        checks.append(compare_payloads(payload, baseline, tolerance=tolerance))
+    stale = sorted(
+        str(path)
+        for path in directory.glob("BENCH_*.json")
+        if path.name not in covered
+    )
+    return checks, problems, stale

@@ -1,0 +1,89 @@
+"""Serializable performance snapshots and their human-readable rendering.
+
+A :class:`PerfSnapshot` is what one instrumented replay leaves behind: the
+headline throughput (flows/sec over host wall-clock), the counter registry,
+and a per-stage timing breakdown with inclusive and exclusive seconds.  It
+rides on :class:`~repro.core.results.RunResult` and survives the same JSON
+round-trip as every other result dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
+
+
+@dataclass(frozen=True, slots=True)
+class StageStats:
+    """Timing of one named stage over a whole replay.
+
+    ``total_seconds`` is inclusive wall time; ``exclusive_seconds`` subtracts
+    the time spent inside stages nested within this one.
+    """
+
+    name: str
+    calls: int
+    total_seconds: float
+    exclusive_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class PerfSnapshot:
+    """Everything one instrumented replay measured."""
+
+    wall_seconds: float
+    flows_replayed: int
+    flows_per_second: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    stages: Tuple[StageStats, ...] = ()
+
+    def stage(self, name: str) -> StageStats:
+        """Look a stage up by name (raises ``KeyError`` when absent)."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r}; have: {[s.name for s in self.stages]}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation of this snapshot."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PerfSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        return dataclass_from_dict(cls, data)
+
+
+def format_stage_breakdown(snapshot: PerfSnapshot, *, label: str = "") -> str:
+    """Render one snapshot as the per-stage table ``repro profile`` prints."""
+    from repro.analysis.reports import format_table
+
+    wall = snapshot.wall_seconds
+    rows: List[List[object]] = []
+    for stage in snapshot.stages:
+        share = (stage.total_seconds / wall * 100.0) if wall > 0 else 0.0
+        rows.append(
+            [
+                stage.name,
+                stage.calls,
+                f"{stage.total_seconds:.3f}",
+                f"{stage.exclusive_seconds:.3f}",
+                f"{share:.1f}%",
+            ]
+        )
+    title = f"Stage breakdown — {label}" if label else "Stage breakdown"
+    table = format_table(
+        ["Stage", "Calls", "Total (s)", "Exclusive (s)", "% of wall"], rows, title=title
+    )
+    headline = (
+        f"wall {snapshot.wall_seconds:.3f}s · {snapshot.flows_replayed} flows · "
+        f"{snapshot.flows_per_second:,.0f} flows/sec"
+    )
+    counter_lines = [f"  {name} = {value}" for name, value in snapshot.counters.items()]
+    parts = [table, headline]
+    if counter_lines:
+        parts.append("counters:")
+        parts.extend(counter_lines)
+    return "\n".join(parts)

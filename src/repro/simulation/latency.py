@@ -32,15 +32,83 @@ class LatencyBreakdown:
 
 
 class LatencyModel:
-    """Analytic latency model shared by both control-plane designs."""
+    """Analytic latency model shared by both control-plane designs.
+
+    The ``*_ms`` methods are allocation-free fast paths for the replay hot
+    loop: they return the same totals as the corresponding breakdown methods
+    (identical floating-point summation order) without building the
+    per-component dict for every replayed flow.
+    """
 
     def __init__(self, config: LatencyModelConfig | None = None) -> None:
         self._config = config or LatencyModelConfig()
+        # Load-independent totals are pure functions of the config: compute
+        # them once through the breakdown methods so both paths stay equal
+        # bit for bit.
+        self._local_ms = self.local_delivery().total_ms
+        self._flow_table_hit_ms = self.flow_table_hit_delivery().total_ms
+        self._intra_group_ms: dict[int, float] = {}
 
     @property
     def config(self) -> LatencyModelConfig:
         """The calibration constants in force."""
         return self._config
+
+    # -- allocation-free totals (hot path) --------------------------------
+
+    def local_delivery_ms(self) -> float:
+        """Total of :meth:`local_delivery` without building the breakdown."""
+        return self._local_ms
+
+    def flow_table_hit_ms(self) -> float:
+        """Total of :meth:`flow_table_hit_delivery` without the breakdown."""
+        return self._flow_table_hit_ms
+
+    def intra_group_ms(self, duplicate_targets: int = 1) -> float:
+        """Total of :meth:`intra_group_delivery`, memoized per target count."""
+        total = self._intra_group_ms.get(duplicate_targets)
+        if total is None:
+            total = self.intra_group_delivery(duplicate_targets=duplicate_targets).total_ms
+            self._intra_group_ms[duplicate_targets] = total
+        return total
+
+    def inter_group_setup_ms(self, controller_load_rps: float) -> float:
+        """Total of :meth:`inter_group_setup` without building the breakdown.
+
+        The additions run left to right in the breakdown's component order,
+        so the result is bit-identical to ``inter_group_setup(...).total_ms``.
+        """
+        cfg = self._config
+        return (
+            2 * cfg.datapath_lookup_ms
+            + cfg.controller_rtt_ms
+            + self.controller_processing(controller_load_rps)
+            + cfg.controller_rtt_ms / 2
+            + cfg.encapsulation_ms
+            + cfg.underlay_hop_ms
+            + cfg.datapath_lookup_ms
+            + cfg.host_link_ms
+        )
+
+    def openflow_reactive_ms(self, controller_load_rps: float, *, needs_location_learning: bool) -> float:
+        """Total of :meth:`openflow_reactive_setup` without the breakdown.
+
+        Bit-identical to ``openflow_reactive_setup(...).total_ms`` (same
+        left-to-right component order, learning terms appended last).
+        """
+        cfg = self._config
+        total = (
+            cfg.datapath_lookup_ms
+            + cfg.controller_rtt_ms
+            + self.controller_processing(controller_load_rps)
+            + cfg.controller_rtt_ms / 2
+            + cfg.underlay_hop_ms
+            + cfg.datapath_lookup_ms
+            + cfg.host_link_ms
+        )
+        if needs_location_learning:
+            total = total + cfg.arp_flood_ms + 2 * cfg.controller_rtt_ms
+        return total
 
     # -- data-plane-only paths -------------------------------------------
 

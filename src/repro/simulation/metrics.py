@@ -41,9 +41,12 @@ class SummaryStatistics:
             index = min(len(values) - 1, max(0, math.ceil(fraction * len(values)) - 1))
             return values[index]
 
+        # Clamp the mean into [min, max]: summing n equal floats can round a
+        # hair past the extreme values (e.g. (x + x + x) / 3 > x by one ulp).
+        mean = min(values[-1], max(values[0], sum(values) / len(values)))
         return cls(
             count=len(values),
-            mean=sum(values) / len(values),
+            mean=mean,
             minimum=values[0],
             maximum=values[-1],
             p50=percentile(0.50),

@@ -11,8 +11,8 @@ is the event that drives live state dissemination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.common.addresses import IpAddress, MacAddress
 from repro.common.errors import TopologyError, UnknownHostError, UnknownSwitchError
@@ -110,6 +110,14 @@ class DataCenterNetwork:
     def has_host(self, host_id: int) -> bool:
         """Whether ``host_id`` currently exists (it may have departed)."""
         return host_id in self._hosts
+
+    def host_if_present(self, host_id: int) -> Optional[Host]:
+        """The host with ``host_id``, or ``None`` when it departed.
+
+        One dict probe instead of the ``has_host`` + ``host`` pair; the
+        replay hot path resolves two endpoints per flow with this.
+        """
+        return self._hosts.get(host_id)
 
     def host_by_mac(self, mac: MacAddress) -> Host:
         """Return the host owning ``mac`` (raises when unknown)."""

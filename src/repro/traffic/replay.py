@@ -15,13 +15,22 @@ A replay can additionally be coupled to a
 advances the engine clock in lockstep with the trace, so events queued on
 the engine (workload churn, failure storms) fire in exact time order,
 interleaved with flow arrivals and periodic ticks.
+
+The inner loop is batched: flows between two periodic ticks are drained in
+one slice with the sink's handler pre-resolved to a local, and the engine
+lockstep is consulted only when an engine event is actually pending.  An
+optional :class:`~repro.perf.recorder.PerfRecorder` times the stages; the
+default :data:`~repro.perf.recorder.NULL_RECORDER` makes instrumentation a
+per-batch no-op.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol
 
+from repro.perf.recorder import NULL_RECORDER
 from repro.traffic.flow import FlowRecord
 from repro.traffic.trace import Trace
 
@@ -66,6 +75,7 @@ class TraceReplayer:
         periodic_interval: float = 60.0,
         periodic_callbacks: Optional[List[PeriodicCallback]] = None,
         event_engine: "SimulationEngine | None" = None,
+        perf=NULL_RECORDER,
     ) -> None:
         if periodic_interval <= 0:
             raise ValueError("periodic_interval must be positive")
@@ -74,6 +84,7 @@ class TraceReplayer:
         self._interval = periodic_interval
         self._callbacks: List[PeriodicCallback] = list(periodic_callbacks or [])
         self._engine = event_engine
+        self._perf = perf
 
     def add_periodic_callback(self, callback: PeriodicCallback) -> None:
         """Register an additional housekeeping callback."""
@@ -84,7 +95,9 @@ class TraceReplayer:
 
         With ``end=None`` the window is clamped to the trace duration: every
         remaining flow is replayed (the last arrival inclusive) and no
-        periodic tick fires past the last arrival.
+        periodic tick fires past the last arrival.  For an empty trace (or a
+        ``start`` past the last arrival) the window collapses to the empty
+        ``[start, start)``, so ``end_time`` never precedes ``start_time``.
 
         Periodic callbacks fire at every multiple of the configured interval
         that falls inside the window, interleaved correctly with flow
@@ -92,37 +105,82 @@ class TraceReplayer:
         or after T).
         """
         if end is None:
-            window_end = self._trace.duration
             # [start, duration) would exclude flows arriving exactly at the
             # trace's last timestamp, so select with an open-ended window.
+            window_end = max(start, self._trace.duration)
             flows = self._trace.window(start, float("inf"))
         else:
             window_end = end
             flows = self._trace.window(start, end)
         progress = ReplayProgress(start_time=start, end_time=window_end)
-        next_tick = start + self._interval
+        with self._perf.timeit("replay"):
+            self._run(flows, start, window_end, progress)
+        return progress
 
-        for flow in flows:
-            while next_tick <= flow.start_time:
+    def _run(self, flows: List[FlowRecord], start: float, window_end: float, progress: ReplayProgress) -> None:
+        interval = self._interval
+        perf = self._perf
+        engine = self._engine
+        handle = self._sink.handle_flow_arrival
+        start_times = [flow.start_time for flow in flows]
+        total = len(flows)
+        next_tick = start + interval
+        index = 0
+
+        while index < total:
+            # All flows arriving strictly before the next tick form one
+            # batch; the tick at time T fires before flows at or after T.
+            boundary = bisect_left(start_times, next_tick, index)
+            if boundary > index:
+                batch = flows[index:boundary]
+                with perf.timeit("flow_handling"):
+                    if engine is None:
+                        for flow in batch:
+                            handle(flow, flow.start_time)
+                    else:
+                        self._drain_with_engine(batch, handle, engine, perf)
+                progress.flows_replayed += boundary - index
+                index = boundary
+            if index >= total:
+                break
+            # The next flow arrives at or after next_tick: fire every tick
+            # scheduled up to (and including) that arrival time first.
+            arrival = start_times[index]
+            while next_tick <= arrival:
                 self._fire_periodic(next_tick, progress)
-                next_tick += self._interval
-            self._advance_engine(flow.start_time)
-            self._sink.handle_flow_arrival(flow, flow.start_time)
-            progress.flows_replayed += 1
+                next_tick += interval
 
         while next_tick <= window_end:
             self._fire_periodic(next_tick, progress)
-            next_tick += self._interval
+            next_tick += interval
         self._advance_engine(window_end)
-        return progress
+
+    @staticmethod
+    def _drain_with_engine(batch: List[FlowRecord], handle, engine: "SimulationEngine", perf) -> None:
+        """Replay one batch in lockstep with the coupled engine.
+
+        The engine is consulted only while events are actually pending: once
+        the queue peeks empty the loop degenerates to the plain fast path
+        (the clock catches up at the next periodic tick or at window end).
+        """
+        next_event = engine.queue.peek_time()
+        for flow in batch:
+            now = flow.start_time
+            if next_event is not None and next_event <= now:
+                with perf.timeit("engine"):
+                    engine.run_until(now)
+                next_event = engine.queue.peek_time()
+            handle(flow, now)
 
     def _fire_periodic(self, now: float, progress: ReplayProgress) -> None:
         self._advance_engine(now)
-        for callback in self._callbacks:
-            callback(now)
+        with self._perf.timeit("periodic"):
+            for callback in self._callbacks:
+                callback(now)
         progress.periodic_invocations += 1
 
     def _advance_engine(self, now: float) -> None:
         """Dispatch all coupled-engine events scheduled up to ``now``."""
         if self._engine is not None and now >= self._engine.now:
-            self._engine.run_until(now)
+            with self._perf.timeit("engine"):
+                self._engine.run_until(now)

@@ -1,7 +1,5 @@
 """Unit tests for the churn processes and the scheduler/engine integration."""
 
-import pytest
-
 from repro.churn import (
     ChurnScheduler,
     ChurnSpec,

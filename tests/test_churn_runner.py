@@ -3,7 +3,6 @@
 import dataclasses
 import json
 
-import pytest
 
 from repro.churn import ChurnSpec
 from repro.common.config import GroupingConfig, LazyCtrlConfig, RegroupingPolicy

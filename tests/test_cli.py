@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.core.runner import ScenarioResult
@@ -105,6 +104,101 @@ class TestBench:
     def test_bench_unknown_preset_fails(self, tmp_path, capsys):
         assert main(["bench", "--presets", "nope", "--out-dir", str(tmp_path)]) == 2
         assert "unknown preset" in capsys.readouterr().err
+
+    def test_bench_payload_reports_throughput(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "paper-fig7", *RUN_SMALL, "--out-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_paper-fig7.json").read_text())
+        assert payload["flows_per_second"] > 0
+        # Every system replays the identical flow sequence (only the flows
+        # inside the --duration-hours window are presented).
+        handled = {record["flows_handled"] for record in payload["systems"].values()}
+        assert len(handled) == 1 and handled.pop() > 0
+
+    def test_bench_check_passes_against_self_generated_baseline(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
+        assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        code = main([*args, "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--baseline-dir", str(baseline_dir)])
+        assert code == 0
+        assert "OK: paper-fig7" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_counter_drift(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
+        assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        baseline_path = baseline_dir / "BENCH_paper-fig7.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["systems"]["openflow"]["total_controller_requests"] += 1
+        baseline_path.write_text(json.dumps(payload))
+        code = main([*args, "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--baseline-dir", str(baseline_dir)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "total_controller_requests" in err
+        assert "regenerate" in err
+
+    def test_bench_repeat_keeps_deterministic_counters(self, tmp_path, capsys):
+        once = tmp_path / "once"
+        thrice = tmp_path / "thrice"
+        args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
+        assert main([*args, "--out-dir", str(once)]) == 0
+        assert main([*args, "--out-dir", str(thrice), "--repeat", "3"]) == 0
+        single = json.loads((once / "BENCH_paper-fig7.json").read_text())
+        repeated = json.loads((thrice / "BENCH_paper-fig7.json").read_text())
+        # Wall-clock differs; everything deterministic must be identical.
+        single.pop("runtime_seconds"), repeated.pop("runtime_seconds")
+        single.pop("flows_per_second"), repeated.pop("flows_per_second")
+        assert single == repeated
+
+    def test_bench_check_warns_but_passes_on_stale_baseline_in_subset_run(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
+        assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        (baseline_dir / "BENCH_ghost.json").write_text("{}")
+        code = main([*args, "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--baseline-dir", str(baseline_dir)])
+        assert code == 0
+        assert "warning: committed baseline" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_stale_baseline_in_full_run(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        args = ["bench", *RUN_SMALL]  # full default preset list
+        assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        (baseline_dir / "BENCH_removed-scenario.json").write_text("{}")
+        code = main([*args, "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--baseline-dir", str(baseline_dir)])
+        assert code == 1
+        assert "not covered by any benchmark preset" in capsys.readouterr().err
+
+    def test_bench_check_fails_without_committed_baselines(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "paper-fig7", *RUN_SMALL,
+                     "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--baseline-dir", str(tmp_path / "missing")])
+        assert code == 1
+        assert "no committed baseline" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_prints_stage_breakdown(self, capsys):
+        code = main(["profile", "paper-fig7", *RUN_SMALL, "--systems", "lazyctrl-dynamic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Stage breakdown" in out
+        assert "flows/sec" in out
+        assert "dissemination" in out
+        assert "edge.packets_processed" in out
+
+    def test_profile_writes_snapshots_json(self, tmp_path, capsys):
+        out_path = tmp_path / "perf.json"
+        code = main(["profile", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--out", str(out_path)])
+        assert code == 0
+        snapshots = json.loads(out_path.read_text())
+        assert snapshots[0]["system"] == "openflow"
+        assert snapshots[0]["perf"]["flows_replayed"] > 0
+        assert snapshots[0]["perf"]["wall_seconds"] > 0
 
 
 class TestCompare:

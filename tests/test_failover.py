@@ -1,6 +1,5 @@
 """Unit tests for failure detection (Table I) and failover actions."""
 
-import random
 
 import pytest
 

@@ -82,21 +82,21 @@ class TestGroupFib:
         gfib = GroupFib()
         gfib.install_peer(5, [mac(1)])
         # Default sizing gives a negligible FPR, so a single probe must miss.
-        assert gfib.query(mac(999_999)) == []
+        assert gfib.query(mac(999_999)) == ()
 
     def test_install_peer_replaces_previous_filter(self):
         gfib = GroupFib()
         gfib.install_peer(5, [mac(1)])
         gfib.install_peer(5, [mac(2)])
-        assert gfib.query(mac(1)) == []
-        assert gfib.query(mac(2)) == [5]
+        assert gfib.query(mac(1)) == ()
+        assert gfib.query(mac(2)) == (5,)
 
     def test_remove_peer(self):
         gfib = GroupFib()
         gfib.install_peer(5, [mac(1)])
         gfib.remove_peer(5)
         assert gfib.peer_count() == 0
-        assert gfib.query(mac(1)) == []
+        assert gfib.query(mac(1)) == ()
 
     def test_clear(self):
         gfib = GroupFib()
@@ -126,7 +126,7 @@ class TestGroupFib:
     def test_exact_tracking_matches_bloom_for_members(self):
         gfib = GroupFib(track_exact=True)
         gfib.install_peer(1, [mac(1), mac(2)])
-        assert gfib.query_exact(mac(1)) == [1]
+        assert gfib.query_exact(mac(1)) == (1,)
         assert set(gfib.query(mac(1))) >= set(gfib.query_exact(mac(1)))
 
     def test_false_positive_estimate_zero_when_empty(self):

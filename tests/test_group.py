@@ -129,8 +129,8 @@ class TestStateSynchronization:
         messages = group.synchronize_gfibs()
         assert messages == 3 * 2
         # Every switch can now resolve every other switch's host.
-        assert switches[0].gfib.query(mac(2)) == [1]
-        assert switches[2].gfib.query(mac(1)) == [0]
+        assert switches[0].gfib.query(mac(2)) == (1,)
+        assert switches[2].gfib.query(mac(1)) == (0,)
 
     def test_propagate_lfib_update_reaches_all_members(self):
         switches = make_switches(4)

@@ -1,7 +1,5 @@
 """Unit tests for the grouping manager (regrouping triggers, Fig. 8 accounting)."""
 
-import pytest
-
 from repro.common.config import GroupingConfig, RegroupingPolicy
 from repro.controlplane.grouping_manager import GroupingManager
 from repro.datastructures.intensity import IntensityMatrix

@@ -45,6 +45,21 @@ class TestPacket:
         # Original packet is unchanged (immutability).
         assert not packet.is_encapsulated
 
+    def test_encapsulate_matches_dataclasses_replace(self, macs):
+        """Guard the hand-rolled fast copy against Packet field drift.
+
+        ``_with_encap`` enumerates every field for speed; if a field is ever
+        added to ``Packet`` and forgotten there, this equality breaks.
+        """
+        import dataclasses
+
+        src, dst = macs
+        packet = make_data_packet(src, dst, 3, size_bytes=900, created_at=7.5, flow_id=11)
+        header = EncapHeader(source_switch=1, destination_switch=2, tunnel_destination=IpAddress.from_switch_index(2))
+        assert packet.encapsulate(header) == dataclasses.replace(packet, encap=header)
+        assert packet.encapsulate(header).decapsulate() == packet
+        assert packet.encapsulate(header).packet_id == packet.packet_id
+
     def test_with_created_at(self, macs):
         src, dst = macs
         packet = make_data_packet(src, dst, 0)

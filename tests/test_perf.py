@@ -1,0 +1,237 @@
+"""Tests for the perf subsystem: recorders, snapshots and baseline checks."""
+
+import json
+import time
+
+from repro.core.runner import ScenarioResult, ScenarioRunner
+from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.perf.baseline import check_against_baselines, compare_payloads
+from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder
+from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
+from repro.topology.builder import TopologyProfile
+from repro.traffic.realistic import RealisticTraceProfile
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="perf-test",
+        topology=TopologyProfile(switch_count=8, host_count=60, seed=7),
+        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=400, seed=7)),
+        systems=("openflow", "lazyctrl-dynamic"),
+        schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestPerfRecorder:
+    def test_counters_accumulate(self):
+        recorder = PerfRecorder()
+        recorder.count("a")
+        recorder.count("a", 4)
+        recorder.count("b", 2)
+        assert recorder.counter("a") == 5
+        assert recorder.counter("b") == 2
+        assert recorder.counter("never") == 0
+
+    def test_timer_records_calls_and_time(self):
+        recorder = PerfRecorder()
+        with recorder.timeit("outer"):
+            time.sleep(0.01)
+        assert recorder.stage_calls("outer") == 1
+        assert recorder.stage_total_seconds("outer") >= 0.01
+
+    def test_timer_nesting_attributes_exclusive_time(self):
+        recorder = PerfRecorder()
+        with recorder.timeit("outer"):
+            time.sleep(0.01)
+            with recorder.timeit("inner"):
+                time.sleep(0.02)
+        stats = {stage.name: stage for stage in recorder.stage_stats()}
+        outer, inner = stats["outer"], stats["inner"]
+        # Outer includes inner's time; exclusive time subtracts it.
+        assert outer.total_seconds >= inner.total_seconds
+        assert inner.total_seconds >= 0.02
+        assert outer.exclusive_seconds <= outer.total_seconds - inner.total_seconds + 1e-6
+        assert outer.exclusive_seconds >= 0.0
+
+    def test_nested_same_stage_never_goes_negative(self):
+        recorder = PerfRecorder()
+        with recorder.timeit("loop"):
+            with recorder.timeit("loop"):
+                pass
+        (stage,) = recorder.stage_stats()
+        assert stage.calls == 2
+        assert stage.exclusive_seconds >= 0.0
+
+    def test_snapshot_computes_throughput(self):
+        recorder = PerfRecorder()
+        recorder.count("x", 3)
+        snapshot = recorder.snapshot(wall_seconds=2.0, flows_replayed=500)
+        assert snapshot.flows_per_second == 250.0
+        assert snapshot.counters == {"x": 3}
+
+    def test_null_recorder_is_inert(self):
+        recorder = NullRecorder()
+        recorder.count("anything", 5)
+        with recorder.timeit("stage"):
+            pass
+        assert recorder.snapshot() is None
+        assert not recorder.enabled
+        assert not NULL_RECORDER.enabled
+
+
+class TestPerfSnapshotSerialization:
+    def test_json_round_trip(self):
+        snapshot = PerfSnapshot(
+            wall_seconds=1.5,
+            flows_replayed=100,
+            flows_per_second=66.7,
+            counters={"controller.requests": 42},
+            stages=(StageStats(name="replay", calls=1, total_seconds=1.5, exclusive_seconds=0.1),),
+        )
+        revived = PerfSnapshot.from_dict(json.loads(json.dumps(snapshot.to_dict())))
+        assert revived == snapshot
+
+    def test_counters_survive_scenario_result_round_trip(self):
+        result = ScenarioRunner().run(small_spec(), collect_perf=True)
+        revived = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        for name, run in result.runs.items():
+            assert run.perf is not None
+            revived_perf = revived.runs[name].perf
+            assert revived_perf is not None
+            assert revived_perf.counters == run.perf.counters
+            assert revived_perf == run.perf
+
+    def test_format_stage_breakdown_renders(self):
+        result = ScenarioRunner().run(small_spec(systems=("lazyctrl-dynamic",)), collect_perf=True)
+        perf = result.runs["lazyctrl-dynamic"].perf
+        text = format_stage_breakdown(perf, label="x")
+        assert "flows/sec" in text
+        assert "replay" in text
+        assert "dissemination" in text
+
+
+class TestInstrumentedRuns:
+    def test_null_recorder_produces_identical_results(self):
+        """Instrumentation must not change any replay outcome, only observe it."""
+        spec = small_spec()
+        plain = ScenarioRunner().run(spec)
+        instrumented = ScenarioRunner().run(spec, collect_perf=True)
+        plain_dict = plain.to_dict()
+        instrumented_dict = instrumented.to_dict()
+        for name in plain_dict["runs"]:
+            assert instrumented_dict["runs"][name].pop("perf") is not None
+            assert plain_dict["runs"][name].pop("perf") is None
+        assert plain_dict == instrumented_dict
+
+    def test_uninstrumented_run_has_no_perf(self):
+        result = ScenarioRunner().run(small_spec(systems=("openflow",)))
+        assert result.runs["openflow"].perf is None
+
+    def test_instrumented_run_collects_expected_stages_and_counters(self):
+        result = ScenarioRunner().run(small_spec(), collect_perf=True)
+        lazy = result.runs["lazyctrl-dynamic"].perf
+        stage_names = {stage.name for stage in lazy.stages}
+        assert {"replay", "flow_handling", "periodic", "dissemination", "regrouping"} <= stage_names
+        # Only the flows inside the 2 h replay window are presented.
+        assert lazy.counters["replay.flows_replayed"] == lazy.flows_replayed > 0
+        assert lazy.counters["edge.packets_processed"] > 0
+        assert lazy.counters["edge.gfib_queries"] >= lazy.counters["edge.gfib_query_cache_hits"]
+        openflow = result.runs["openflow"].perf
+        assert openflow.counters["controller.requests"] == result.runs["openflow"].total_controller_requests
+        assert openflow.flows_per_second > 0
+
+
+def payload(scenario="s", runtime=10.0, fps=1000.0, requests=50):
+    return {
+        "scenario": scenario,
+        "flows": 400,
+        "switches": 8,
+        "hosts": 60,
+        "runtime_seconds": runtime,
+        "flows_per_second": fps,
+        "systems": {
+            "openflow": {
+                "flows_handled": 400,
+                "total_controller_requests": requests,
+                "mean_krps": 0.5,
+                "peak_krps": 0.9,
+                "mean_latency_ms": 1.25,
+                "grouping_updates": 0.0,
+                "churn_events": 0,
+                "churn_attributed_regroupings": 0,
+            }
+        },
+    }
+
+
+class TestBaselineComparison:
+    def test_identical_payloads_pass(self):
+        check = compare_payloads(payload(), payload())
+        assert check.ok
+        assert check.notes == []
+
+    def test_deterministic_counter_drift_fails(self):
+        check = compare_payloads(payload(requests=51), payload(requests=50))
+        assert not check.ok
+        assert any("total_controller_requests" in failure for failure in check.failures)
+
+    def test_deterministic_float_drift_fails(self):
+        current = payload()
+        current["systems"]["openflow"]["mean_latency_ms"] = 1.26
+        check = compare_payloads(current, payload())
+        assert not check.ok
+
+    def test_runtime_within_band_passes(self):
+        check = compare_payloads(payload(runtime=12.0), payload(runtime=10.0))
+        assert check.ok
+
+    def test_runtime_regression_beyond_band_fails(self):
+        check = compare_payloads(payload(runtime=14.0), payload(runtime=10.0))
+        assert not check.ok
+        assert any("runtime_seconds" in failure for failure in check.failures)
+
+    def test_runtime_improvement_never_fails(self):
+        check = compare_payloads(payload(runtime=1.0, fps=10000.0), payload(runtime=10.0))
+        assert check.ok
+        assert any("regenerating" in note for note in check.notes)
+
+    def test_throughput_regression_fails(self):
+        check = compare_payloads(payload(fps=500.0), payload(fps=1000.0))
+        assert not check.ok
+
+    def test_throughput_band_stays_meaningful_at_high_tolerance(self):
+        """A multiplicative band: tolerance >= 1.0 must not disable the check."""
+        check = compare_payloads(payload(fps=400.0), payload(fps=1000.0), tolerance=1.0)
+        assert not check.ok
+        assert compare_payloads(payload(fps=600.0), payload(fps=1000.0), tolerance=1.0).ok
+
+    def test_custom_tolerance(self):
+        assert compare_payloads(payload(runtime=14.0), payload(runtime=10.0), tolerance=0.5).ok
+
+    def test_missing_system_fails(self):
+        current = payload()
+        current["systems"] = {}
+        assert not compare_payloads(current, payload()).ok
+
+    def test_missing_baseline_file_reported(self, tmp_path):
+        checks, problems, stale = check_against_baselines([payload("nope")], tmp_path)
+        assert checks == []
+        assert stale == []
+        assert len(problems) == 1
+        assert "BENCH_nope.json" in problems[0]
+
+    def test_check_against_committed_file(self, tmp_path):
+        (tmp_path / "BENCH_s.json").write_text(json.dumps(payload()))
+        checks, problems, stale = check_against_baselines([payload(runtime=11.0)], tmp_path)
+        assert problems == [] and stale == []
+        assert len(checks) == 1 and checks[0].ok
+
+    def test_uncovered_committed_baseline_reported_as_stale(self, tmp_path):
+        (tmp_path / "BENCH_s.json").write_text(json.dumps(payload()))
+        (tmp_path / "BENCH_removed-scenario.json").write_text(json.dumps(payload("removed-scenario")))
+        checks, problems, stale = check_against_baselines([payload()], tmp_path)
+        assert problems == []
+        assert len(checks) == 1 and checks[0].ok
+        assert len(stale) == 1 and "BENCH_removed-scenario.json" in stale[0]

@@ -1,6 +1,5 @@
 """Tests for the Scenario API: specs, the registry, the runner and presets."""
 
-import dataclasses
 import json
 
 import pytest

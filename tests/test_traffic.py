@@ -209,3 +209,55 @@ class TestReplayer:
         # Three tick times, two callbacks each: 3 invocations, not 6 (and not 2).
         assert progress.periodic_invocations == 3
         assert first == second == [50.0, 100.0, 150.0]
+
+    # -- regression: end_time accounting on degenerate traces ----------------
+
+    def test_empty_trace_default_window_end_never_precedes_start(self, tiny_network):
+        """end=None on an empty trace used to report end_time=0 < start."""
+        trace = Trace("t", tiny_network, [])
+        ticks = []
+        replayer = TraceReplayer(trace, _RecordingSink(), periodic_interval=60.0, periodic_callbacks=[ticks.append])
+        progress = replayer.replay(start=500.0)
+        assert progress.start_time == 500.0
+        assert progress.end_time == 500.0
+        assert progress.duration == 0.0
+        assert progress.flows_replayed == 0
+        assert ticks == []
+
+    def test_empty_trace_default_window_from_zero(self, tiny_network):
+        progress = TraceReplayer(Trace("t", tiny_network, []), _RecordingSink(), periodic_interval=60.0).replay()
+        assert progress.start_time == 0.0
+        assert progress.end_time == 0.0
+        assert progress.periodic_invocations == 0
+
+    def test_all_flows_share_one_timestamp(self, tiny_network):
+        """A trace whose flows all arrive at one instant replays them all once."""
+        trace = Trace("t", tiny_network, [flow(120.0, 0, 1, i) for i in range(4)])
+        sink = _RecordingSink()
+        ticks = []
+        replayer = TraceReplayer(trace, sink, periodic_interval=60.0, periodic_callbacks=[ticks.append])
+        progress = replayer.replay()
+        assert progress.flows_replayed == 4
+        assert sorted(fid for fid, _ in sink.seen) == [0, 1, 2, 3]
+        assert progress.end_time == 120.0
+        assert progress.duration == 120.0
+        # Ticks at 60 and 120 fire (120 before the flows arriving at 120),
+        # and nothing fires past the single shared timestamp.
+        assert ticks == [60.0, 120.0]
+
+    def test_all_flows_at_time_zero(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(0.0, 0, 1, i) for i in range(3)])
+        sink = _RecordingSink()
+        progress = TraceReplayer(trace, sink, periodic_interval=60.0).replay()
+        assert progress.flows_replayed == 3
+        assert progress.end_time == 0.0
+        assert progress.duration == 0.0
+        assert progress.periodic_invocations == 0
+
+    def test_start_past_last_arrival_with_default_window(self, tiny_network):
+        trace = Trace("t", tiny_network, [flow(10.0, 0, 1, 0)])
+        sink = _RecordingSink()
+        progress = TraceReplayer(trace, sink, periodic_interval=60.0).replay(start=50.0)
+        assert progress.flows_replayed == 0
+        assert progress.end_time == 50.0
+        assert progress.duration == 0.0
