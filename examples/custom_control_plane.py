@@ -28,7 +28,6 @@ from repro.core.results import SystemCounters
 from repro.simulation.latency import LatencyModel
 from repro.simulation.metrics import CounterSeries, LatencyRecorder
 from repro.common.config import LazyCtrlConfig
-from repro.traffic.realistic import RealisticTraceProfile
 
 
 class OmniscientControlPlane:
@@ -83,7 +82,7 @@ def main() -> None:
     spec = ScenarioSpec(
         name="custom-plane-demo",
         topology=TopologyProfile(switch_count=24, host_count=300, seed=42),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=42)),
+        traffic=TraceSpec.realistic(total_flows=8_000, seed=42),
         systems=("openflow", "lazyctrl-dynamic", "omniscient"),
         schedule=ScheduleSpec(),
     )

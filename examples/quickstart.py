@@ -23,8 +23,9 @@ from repro.analysis.reports import format_percent, format_table, two_hour_bucket
 
 def main() -> None:
     spec = get_preset("paper-fig7").specs()[0]
-    print(f"Running scenario '{spec.name}': {spec.topology.switch_count} switches, "
-          f"{spec.topology.host_count} hosts, {spec.traffic.realistic.total_flows} flows, "
+    switches, hosts = spec.topology.dimensions()
+    print(f"Running scenario '{spec.name}': {switches} switches, "
+          f"{hosts} hosts, {spec.traffic.total_flows} flows, "
           f"systems {', '.join(spec.systems)}...\n")
     result = ScenarioRunner().run(spec)
 

@@ -44,15 +44,29 @@ from repro.core.scenario import (
     FailureInjectionSpec,
     ScenarioSpec,
     ScheduleSpec,
+    TopologySpec,
     TraceSpec,
 )
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
 from repro.partitioning.sgi import Grouping, SgiGrouper
 from repro.perf import PerfRecorder, PerfSnapshot
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.topology.registry import (
+    TopologyEntry,
+    available_topologies,
+    get_topology,
+    register_topology,
+)
+from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec
 from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.registry import (
+    TrafficModelEntry,
+    available_traffic_models,
+    get_traffic_model,
+    register_traffic_model,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ChurnSpec",
@@ -75,15 +89,26 @@ __all__ = [
     "ScenarioSpec",
     "ScheduleSpec",
     "SgiGrouper",
+    "TopologyEntry",
     "TopologyProfile",
+    "TopologySpec",
     "TraceSpec",
+    "TrafficComponentSpec",
+    "TrafficMixSpec",
+    "TrafficModelEntry",
     "available_control_planes",
+    "available_topologies",
+    "available_traffic_models",
     "build_multi_tenant_datacenter",
     "get_control_plane",
     "get_preset",
+    "get_topology",
+    "get_traffic_model",
     "list_presets",
     "quickstart",
     "register_control_plane",
+    "register_topology",
+    "register_traffic_model",
     "__version__",
 ]
 
@@ -108,7 +133,7 @@ def quickstart(
     spec = ScenarioSpec(
         name="quickstart",
         topology=TopologyProfile(switch_count=switch_count, host_count=host_count, seed=seed),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=total_flows, seed=seed)),
+        traffic=TraceSpec.realistic(total_flows=total_flows, seed=seed),
         systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
         config=default_grouping_config(switch_count, seed=seed),
     )

@@ -1,11 +1,14 @@
 """The ``repro`` command-line interface.
 
-Six subcommands cover the everyday workflow::
+Seven subcommands cover the everyday workflow::
 
     python -m repro run paper-fig7 --flows 2000          # run a preset
     python -m repro run my-scenario.json --out out.json  # run a spec file
+    python -m repro run traffic-mix --traffic uniform    # swap the workload
     python -m repro compare out.json                     # reductions vs baseline
     python -m repro list-scenarios                       # presets + control planes
+    python -m repro list-traffic-models                  # registered trace generators
+    python -m repro list-topologies                      # registered topology shapes
     python -m repro bench --out-dir bench-out            # machine-readable benchmarks
     python -m repro bench --check                        # gate on committed baselines
     python -m repro profile paper-fig7 --flows 2000      # per-stage perf breakdown
@@ -14,9 +17,12 @@ Six subcommands cover the everyday workflow::
 JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
 spec fields can be overridden from the command line (``--flows``,
 ``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``,
-``--churn-rate``, ``--churn-seed``) and multi-scenario presets fan out over
-``--workers`` processes.  ``bench`` replays the benchmark presets and writes
-one ``BENCH_<scenario>.json`` per scenario (runtime, flows/sec, controller
+``--traffic``, ``--topology``, ``--churn-rate``, ``--churn-seed``) and
+multi-scenario presets fan out over ``--workers`` processes.  ``--traffic``
+and ``--topology`` swap in any registered traffic model or topology shape by
+name, carrying the old spec's dimensions over where the new shape supports
+them.  ``bench`` replays the benchmark presets and writes one
+``BENCH_<scenario>.json`` per scenario (runtime, flows/sec, controller
 workload, regroup and churn counts) so CI can track the performance
 trajectory; with ``--check`` it additionally compares the fresh payloads
 against the baselines committed under ``benchmarks/baselines/`` and exits
@@ -40,12 +46,14 @@ from repro.common.errors import ReproError
 from repro.core.presets import get_preset, list_presets
 from repro.core.registry import available_control_planes
 from repro.core.runner import ScenarioResult, ScenarioRunner
-from repro.core.scenario import ScenarioSpec
+from repro.core.scenario import ScenarioSpec, TopologySpec, TraceSpec
 from repro.perf.baseline import check_against_baselines
 from repro.perf.report import format_stage_breakdown
+from repro.topology.registry import available_topologies
+from repro.traffic.registry import available_traffic_models
 
 #: Presets the ``bench`` subcommand replays by default.
-BENCH_PRESETS = ("paper-fig7", "churn-migration")
+BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -59,13 +67,55 @@ def _load_specs(target: str) -> List[ScenarioSpec]:
     return list(get_preset(target).specs())
 
 
+def _carry_topology_shape(topology: TopologySpec, shape: str) -> TopologySpec:
+    """Swap a spec's topology shape, carrying dimensions the new shape accepts."""
+    replacement = TopologySpec(shape=shape)
+    supported = replacement.entry().param_names()
+    switch_count, host_count = topology.dimensions()
+    carried = {
+        key: value
+        for key, value in (
+            ("switch_count", switch_count),
+            ("host_count", host_count),
+            ("seed", topology.params.get("seed")),
+        )
+        if value is not None and key in supported
+    }
+    return replacement.with_params(**carried) if carried else replacement
+
+
+def _carry_traffic_model(traffic: TraceSpec, model: str) -> TraceSpec:
+    """Swap a spec's traffic model, carrying the scale knobs the new model accepts.
+
+    Without this a ``--traffic`` swap would silently fall back to the new
+    model's defaults (e.g. 200k flows) instead of the preset's scale.
+    """
+    replacement = TraceSpec(model=model)
+    supported = replacement.entry().param_names()
+    old_params = traffic.resolved_params()
+    carried = {
+        key: value
+        for key, value in (
+            ("total_flows", getattr(old_params, "total_flows", None)),
+            ("duration_hours", getattr(old_params, "duration_hours", None)),
+            ("seed", getattr(old_params, "seed", None)),
+        )
+        if value is not None and key in supported
+    }
+    return replacement.with_params(**carried) if carried else replacement
+
+
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
-    """Apply ``--flows``/``--switches``/... overrides to one spec."""
+    """Apply ``--flows``/``--switches``/``--traffic``/... overrides to one spec."""
     topology = spec.topology
     config = spec.config
+    if getattr(args, "topology", None) is not None and args.topology != topology.shape:
+        topology = _carry_topology_shape(topology, args.topology)
+
+    topology_overrides = {}
     if args.switches is not None:
-        topology = dataclasses.replace(topology, switch_count=args.switches)
-        if args.switches != spec.topology.switch_count:
+        topology_overrides["switch_count"] = args.switches
+        if args.switches != topology.dimensions()[0]:
             # Re-run the preset sizing heuristic: a group-size limit tuned
             # for the original scale would let a smaller topology collapse
             # into a single group and never exercise inter-group traffic.
@@ -77,26 +127,22 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
                 ),
             )
     if args.hosts is not None:
-        topology = dataclasses.replace(topology, host_count=args.hosts)
+        topology_overrides["host_count"] = args.hosts
     if args.seed is not None:
-        topology = dataclasses.replace(topology, seed=args.seed)
+        topology_overrides["seed"] = args.seed
+    if topology_overrides:
+        topology = topology.with_params(**topology_overrides)
 
     traffic = spec.traffic
-    if args.flows is not None or args.seed is not None:
-        if traffic.kind == "synthetic":
-            synthetic = traffic.synthetic
-            if args.flows is not None:
-                synthetic = dataclasses.replace(synthetic, total_flows=args.flows)
-            if args.seed is not None:
-                synthetic = dataclasses.replace(synthetic, seed=args.seed)
-            traffic = dataclasses.replace(traffic, synthetic=synthetic)
-        else:
-            realistic = traffic.realistic
-            if args.flows is not None:
-                realistic = dataclasses.replace(realistic, total_flows=args.flows)
-            if args.seed is not None:
-                realistic = dataclasses.replace(realistic, seed=args.seed)
-            traffic = dataclasses.replace(traffic, realistic=realistic)
+    if getattr(args, "traffic", None) is not None and args.traffic != traffic.model:
+        traffic = _carry_traffic_model(traffic, args.traffic)
+    traffic_overrides = {}
+    if args.flows is not None:
+        traffic_overrides["total_flows"] = args.flows
+    if args.seed is not None:
+        traffic_overrides["seed"] = args.seed
+    if traffic_overrides:
+        traffic = traffic.with_params(**traffic_overrides)
 
     schedule = spec.schedule
     if args.duration_hours is not None:
@@ -247,18 +293,15 @@ def _bench_payload(preset_name: str, result: ScenarioResult, runtime_seconds: fl
                 run.churn.churn_attributed_regroupings if run.churn is not None else 0
             ),
         }
+    switches, hosts = result.spec.topology.dimensions()
     return {
         "scenario": result.spec.name,
         "preset": preset_name,
         "runtime_seconds": runtime_seconds,
         "flows_per_second": (total_flows_replayed / runtime_seconds) if runtime_seconds > 0 else 0.0,
-        "flows": (
-            result.spec.traffic.synthetic.total_flows
-            if result.spec.traffic.kind == "synthetic"
-            else result.spec.traffic.realistic.total_flows
-        ),
-        "switches": result.spec.topology.switch_count,
-        "hosts": result.spec.topology.host_count,
+        "flows": result.spec.traffic.total_flows,
+        "switches": switches,
+        "hosts": hosts,
         "systems": systems,
     }
 
@@ -376,6 +419,25 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_registry_table(entries, title: str) -> None:
+    """Print the name/label/params/description table for one workload registry."""
+    rows = [
+        [entry.name, entry.label, ", ".join(sorted(entry.param_names())), entry.description]
+        for entry in entries
+    ]
+    print(format_table(["Name", "Label", "Params", "Description"], rows, title=title))
+
+
+def _cmd_list_traffic_models(args: argparse.Namespace) -> int:
+    _print_registry_table(available_traffic_models(), "Registered traffic models")
+    return 0
+
+
+def _cmd_list_topologies(args: argparse.Namespace) -> int:
+    _print_registry_table(available_topologies(), "Registered topology shapes")
+    return 0
+
+
 def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     """Spec-override flags shared by ``run`` and ``bench``."""
     parser.add_argument("--flows", type=int, default=None, help="override total flow count")
@@ -384,6 +446,16 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="override topology/traffic seed")
     parser.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
     parser.add_argument("--systems", default=None, help="comma-separated control-plane names")
+    parser.add_argument(
+        "--traffic",
+        default=None,
+        help="swap in a registered traffic model by name (see list-traffic-models)",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help="swap in a registered topology shape by name (see list-topologies)",
+    )
     parser.add_argument(
         "--churn-rate",
         type=float,
@@ -459,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_cmd = subparsers.add_parser("list-scenarios", help="list presets and registered control planes")
     list_cmd.set_defaults(handler=_cmd_list_scenarios)
+
+    list_traffic = subparsers.add_parser(
+        "list-traffic-models", help="list registered traffic models and their params"
+    )
+    list_traffic.set_defaults(handler=_cmd_list_traffic_models)
+
+    list_topologies = subparsers.add_parser(
+        "list-topologies", help="list registered topology shapes and their params"
+    )
+    list_topologies.set_defaults(handler=_cmd_list_topologies)
     return parser
 
 

@@ -1,0 +1,99 @@
+"""Generic backbone for the library's named-entry registries.
+
+Three pluggable surfaces share the same shape — control planes, traffic
+models and topology shapes are each a name→entry mapping with duplicate
+protection, a helpful unknown-name error listing what *is* registered, and
+(for the workload registries) a frozen params dataclass validated from raw
+JSON dicts.  :class:`NamedRegistry` carries the mapping mechanics once;
+each surface keeps its own entry dataclass and decorator so its public API
+stays domain-shaped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Generic, List, Mapping, Optional, TypeVar
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialize import dataclass_from_dict
+
+E = TypeVar("E")
+
+
+class NamedRegistry(Generic[E]):
+    """A name→entry mapping with the registry conventions all surfaces share.
+
+    ``kind`` names the surface in error messages ("control plane", "traffic
+    model", ...), ``name_label`` phrases the empty-name error, and
+    ``known_label`` introduces the list of registered names in the
+    unknown-name error.
+    """
+
+    def __init__(self, *, kind: str, name_label: str, known_label: str) -> None:
+        self._kind = kind
+        self._name_label = name_label
+        self._known_label = known_label
+        self._entries: Dict[str, E] = {}
+
+    def validate_name(self, name: str) -> None:
+        """Reject empty/blank registration names."""
+        if not name or not name.strip():
+            raise ConfigurationError(f"{self._name_label} must be a non-empty string")
+
+    def add(self, name: str, entry: E, *, replace: bool = False) -> None:
+        """Register ``entry`` under ``name`` (duplicate-protected)."""
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                f"{self._kind} {name!r} is already registered; pass replace=True to override"
+            )
+        self._entries[name] = entry
+
+    def remove(self, name: str) -> None:
+        """Drop a registration (no-op when absent; primarily for tests)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> E:
+        """Look an entry up, listing the registered names on a miss."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ConfigurationError(
+                f"unknown {self._kind} {name!r}; {self._known_label}: {known}"
+            ) from None
+
+    def available(self) -> List[E]:
+        """All entries, sorted by name."""
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+def require_params_dataclass(kind: str, name: str, params: type) -> None:
+    """Reject registrations whose params schema is not a dataclass type."""
+    if not dataclasses.is_dataclass(params) or not isinstance(params, type):
+        raise ConfigurationError(
+            f"{kind} {name!r} params must be a dataclass type, got {params!r}"
+        )
+
+
+def params_field_names(params_type: type) -> frozenset:
+    """Names of the init fields of a params dataclass."""
+    return frozenset(
+        field.name for field in dataclasses.fields(params_type) if field.init
+    )
+
+
+def make_entry_params(
+    params_type: type,
+    params: Optional[Mapping[str, Any]],
+    *,
+    path: str,
+) -> Any:
+    """Validate a raw params mapping into an entry's params dataclass.
+
+    Raises :class:`~repro.common.errors.ConfigurationError` naming any
+    unknown or missing key at ``path``.
+    """
+    return dataclass_from_dict(params_type, dict(params or {}), path=path)

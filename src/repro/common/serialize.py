@@ -12,6 +12,13 @@ dataclasses.  That makes a single pair of generic converters sufficient:
 
 The round trip is exact for every spec class: ``from_jsonable(cls,
 to_jsonable(obj)) == obj``.
+
+Deserialization is strict about dataclass keys: an unknown key or a missing
+required key raises :class:`~repro.common.errors.ConfigurationError` naming
+the offending key and the path to the dataclass it belongs to (for example
+``spec.traffic.params``), so a typo in a hand-written spec file points at
+itself instead of surfacing as a bare ``TypeError`` from a constructor
+three frames down.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import types
-from typing import Any, Dict, Union, get_args, get_origin, get_type_hints
+from typing import Any, Dict, Mapping, Union, get_args, get_origin, get_type_hints
+
+from repro.common.errors import ConfigurationError
 
 _HINT_CACHE: Dict[type, Dict[str, Any]] = {}
 
@@ -40,8 +49,56 @@ def to_jsonable(obj: Any) -> Any:
     return obj
 
 
-def from_jsonable(annotation: Any, data: Any) -> Any:
-    """Rebuild a value of type ``annotation`` from its JSON representation."""
+def _dataclass_from_mapping(annotation: type, data: Any, path: str) -> Any:
+    """Strictly rebuild one dataclass: unknown/missing keys raise with context."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{path}: expected a JSON object for {annotation.__name__}, "
+            f"got {type(data).__name__}"
+        )
+    hints = _HINT_CACHE.get(annotation)
+    if hints is None:
+        hints = get_type_hints(annotation)
+        _HINT_CACHE[annotation] = hints
+    init_fields = {
+        field.name: field for field in dataclasses.fields(annotation) if field.init
+    }
+    unknown = sorted(key for key in data if key not in init_fields)
+    if unknown:
+        keys = ", ".join(repr(key) for key in unknown)
+        valid = ", ".join(sorted(init_fields))
+        raise ConfigurationError(
+            f"unknown key{'s' if len(unknown) > 1 else ''} {keys} for "
+            f"{annotation.__name__} at {path}; valid keys: {valid}"
+        )
+    missing = sorted(
+        name
+        for name, field in init_fields.items()
+        if name not in data
+        and field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+    )
+    if missing:
+        keys = ", ".join(repr(key) for key in missing)
+        raise ConfigurationError(
+            f"missing required key{'s' if len(missing) > 1 else ''} {keys} for "
+            f"{annotation.__name__} at {path}"
+        )
+    kwargs = {
+        name: from_jsonable(hints[name], data[name], path=f"{path}.{name}")
+        for name in init_fields
+        if name in data
+    }
+    return annotation(**kwargs)
+
+
+def from_jsonable(annotation: Any, data: Any, *, path: str = "spec") -> Any:
+    """Rebuild a value of type ``annotation`` from its JSON representation.
+
+    ``path`` names the location being deserialized (dotted, root ``spec``)
+    and is threaded through recursion so errors can point at the offending
+    key.
+    """
     origin = get_origin(annotation)
 
     if annotation is Any:
@@ -52,33 +109,36 @@ def from_jsonable(annotation: Any, data: Any) -> Any:
             return None
         if len(members) != 1:
             raise TypeError(f"cannot deserialize ambiguous union {annotation!r}")
-        return from_jsonable(members[0], data)
+        return from_jsonable(members[0], data, path=path)
     if data is None:
         return None
 
     if dataclasses.is_dataclass(annotation) and isinstance(annotation, type):
-        hints = _HINT_CACHE.get(annotation)
-        if hints is None:
-            hints = get_type_hints(annotation)
-            _HINT_CACHE[annotation] = hints
-        kwargs = {
-            field.name: from_jsonable(hints[field.name], data[field.name])
-            for field in dataclasses.fields(annotation)
-            if field.init and field.name in data
-        }
-        return annotation(**kwargs)
+        return _dataclass_from_mapping(annotation, data, path)
 
     if origin in (list, tuple, dict):
         args = get_args(annotation)
         if origin is list:
-            return [from_jsonable(args[0] if args else Any, item) for item in data]
+            item_type = args[0] if args else Any
+            return [
+                from_jsonable(item_type, item, path=f"{path}[{index}]")
+                for index, item in enumerate(data)
+            ]
         if origin is tuple:
             if len(args) == 2 and args[1] is Ellipsis:
-                return tuple(from_jsonable(args[0], item) for item in data)
-            return tuple(from_jsonable(arg, item) for arg, item in zip(args, data))
+                return tuple(
+                    from_jsonable(args[0], item, path=f"{path}[{index}]")
+                    for index, item in enumerate(data)
+                )
+            return tuple(
+                from_jsonable(arg, item, path=f"{path}[{index}]")
+                for index, (arg, item) in enumerate(zip(args, data))
+            )
         key_type, value_type = args if args else (Any, Any)
         return {
-            from_jsonable(key_type, key): from_jsonable(value_type, value)
+            from_jsonable(key_type, key, path=path): from_jsonable(
+                value_type, value, path=f"{path}[{key!r}]"
+            )
             for key, value in data.items()
         }
 
@@ -101,6 +161,10 @@ def dataclass_to_dict(obj: Any) -> Dict[str, Any]:
     return to_jsonable(obj)
 
 
-def dataclass_from_dict(cls: type, data: Dict[str, Any]) -> Any:
-    """Rebuild a dataclass of type ``cls`` from :func:`dataclass_to_dict` output."""
-    return from_jsonable(cls, data)
+def dataclass_from_dict(cls: type, data: Dict[str, Any], *, path: str | None = None) -> Any:
+    """Rebuild a dataclass of type ``cls`` from :func:`dataclass_to_dict` output.
+
+    ``path`` seeds the error-reporting location; it defaults to the class
+    name so standalone conversions still produce a useful anchor.
+    """
+    return from_jsonable(cls, data, path=path if path is not None else cls.__name__)

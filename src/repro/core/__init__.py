@@ -26,6 +26,7 @@ from repro.core.scenario import (
     FailureInjectionSpec,
     ScenarioSpec,
     ScheduleSpec,
+    TopologySpec,
     TraceSpec,
 )
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
@@ -51,6 +52,7 @@ __all__ = [
     "ScenarioSpec",
     "ScheduleSpec",
     "SystemCounters",
+    "TopologySpec",
     "TraceSpec",
     "WorkloadComparison",
     "WorkloadSeriesResult",

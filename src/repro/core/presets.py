@@ -14,7 +14,14 @@ under a memorable name:
 * ``churn-migration`` — steady VM-migration and locality-drift churn all
   day, the workload that exercises dynamic regrouping (Fig. 8);
 * ``churn-tenant-wave`` — a wave of tenant arrivals and departures through
-  the business hours on top of light migration churn.
+  the business hours on top of light migration churn;
+* ``traffic-mix`` — a composed workload: diurnal realistic baseline, an
+  elephant/mice overlay through business hours and a 9-11 am incast burst
+  (the registry-composition showcase);
+* ``striped-antilocal`` — the realistic trace on the anti-local striped
+  topology, the adversarial placement that defeats switch grouping;
+* ``multi-pod-shuffle`` — shuffle waves plus uniform background on a
+  multi-pod topology with two tiers of locality.
 
 Presets are deliberately sized to finish in seconds-to-minutes on a laptop;
 scale any of them up by overriding the spec fields (the CLI exposes
@@ -23,6 +30,7 @@ scale any of them up by overriding the spec fields (the CLI exposes
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
@@ -33,10 +41,11 @@ from repro.core.scenario import (
     FailureInjectionSpec,
     ScenarioSpec,
     ScheduleSpec,
+    TopologySpec,
     TraceSpec,
 )
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
+from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,7 +78,7 @@ def _paper_fig7() -> Tuple[ScenarioSpec, ...]:
         ScenarioSpec(
             name="paper-fig7",
             topology=TopologyProfile(switch_count=48, host_count=600, seed=2015),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=20_000, seed=2015)),
+            traffic=TraceSpec.realistic(total_flows=20_000, seed=2015),
             systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
             config=default_grouping_config(48),
         ),
@@ -77,16 +86,12 @@ def _paper_fig7() -> Tuple[ScenarioSpec, ...]:
 
 
 def _paper_fig7_expanded() -> Tuple[ScenarioSpec, ...]:
+    spec = _paper_fig7()[0]
     return (
-        ScenarioSpec(
+        dataclasses.replace(
+            spec,
             name="paper-fig7-expanded",
-            topology=TopologyProfile(switch_count=48, host_count=600, seed=2015),
-            traffic=TraceSpec(
-                realistic=RealisticTraceProfile(total_flows=20_000, seed=2015),
-                expand_fraction=0.30,
-            ),
-            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
-            config=default_grouping_config(48),
+            traffic=dataclasses.replace(spec.traffic, expand_fraction=0.30),
         ),
     )
 
@@ -96,7 +101,7 @@ def _failover() -> Tuple[ScenarioSpec, ...]:
         ScenarioSpec(
             name="failover",
             topology=TopologyProfile(switch_count=24, host_count=320, seed=23),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=23)),
+            traffic=TraceSpec.realistic(total_flows=8_000, seed=23),
             systems=("openflow", "lazyctrl-dynamic"),
             config=default_grouping_config(24, seed=23),
             failures=FailureInjectionSpec(at_hours=(6.0, 14.0), switches_per_event=2),
@@ -110,7 +115,7 @@ def _scale_sweep() -> Tuple[ScenarioSpec, ...]:
         ScenarioSpec(
             name=f"scale-sweep-{switches}sw",
             topology=TopologyProfile(switch_count=switches, host_count=hosts, seed=2015),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=flows, seed=2015)),
+            traffic=TraceSpec.realistic(total_flows=flows, seed=2015),
             systems=("openflow", "lazyctrl-dynamic"),
             schedule=ScheduleSpec(),
             config=default_grouping_config(switches),
@@ -124,7 +129,7 @@ def _churn_migration() -> Tuple[ScenarioSpec, ...]:
         ScenarioSpec(
             name="churn-migration",
             topology=TopologyProfile(switch_count=24, host_count=320, seed=2015),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=2015)),
+            traffic=TraceSpec.realistic(total_flows=8_000, seed=2015),
             systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
             config=default_grouping_config(24),
             churn=ChurnSpec(
@@ -141,7 +146,7 @@ def _churn_tenant_wave() -> Tuple[ScenarioSpec, ...]:
         ScenarioSpec(
             name="churn-tenant-wave",
             topology=TopologyProfile(switch_count=24, host_count=320, seed=2015),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=8_000, seed=2015)),
+            traffic=TraceSpec.realistic(total_flows=8_000, seed=2015),
             systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
             config=default_grouping_config(24),
             churn=ChurnSpec(
@@ -153,6 +158,83 @@ def _churn_tenant_wave() -> Tuple[ScenarioSpec, ...]:
                 start_hour=6.0,
                 end_hour=18.0,
             ),
+        ),
+    )
+
+
+def _traffic_mix() -> Tuple[ScenarioSpec, ...]:
+    mix = TrafficMixSpec(
+        components=(
+            TrafficComponentSpec(model="realistic", weight=0.6),
+            TrafficComponentSpec(
+                model="elephant-mice",
+                params={"elephant_pair_count": 16, "elephant_flow_fraction": 0.3},
+                weight=0.25,
+                window_hours=(8.0, 20.0),
+            ),
+            TrafficComponentSpec(
+                model="incast-hotspot",
+                params={"hotspot_count": 3, "hotspot_flow_fraction": 0.8},
+                weight=0.15,
+                window_hours=(9.0, 11.0),
+            ),
+        ),
+        total_flows=20_000,
+        duration_hours=24.0,
+        seed=2015,
+    )
+    return (
+        ScenarioSpec(
+            name="traffic-mix",
+            topology=TopologyProfile(switch_count=32, host_count=400, seed=2015),
+            traffic=TraceSpec.mix(mix),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(32),
+        ),
+    )
+
+
+def _striped_antilocal() -> Tuple[ScenarioSpec, ...]:
+    return (
+        ScenarioSpec(
+            name="striped-antilocal",
+            topology=TopologySpec(
+                shape="striped",
+                params={"switch_count": 24, "host_count": 320, "seed": 2015},
+            ),
+            traffic=TraceSpec.realistic(total_flows=8_000, seed=2015),
+            systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
+            config=default_grouping_config(24),
+        ),
+    )
+
+
+def _multi_pod_shuffle() -> Tuple[ScenarioSpec, ...]:
+    mix = TrafficMixSpec(
+        components=(
+            TrafficComponentSpec(
+                model="all-to-all-shuffle",
+                params={"phase_count": 6, "phase_duration_hours": 0.5,
+                        "participant_fraction": 0.4},
+                weight=0.7,
+            ),
+            TrafficComponentSpec(model="uniform", weight=0.3),
+        ),
+        total_flows=10_000,
+        duration_hours=24.0,
+        seed=2015,
+    )
+    return (
+        ScenarioSpec(
+            name="multi-pod-shuffle",
+            topology=TopologySpec(
+                shape="multi-pod",
+                params={"pod_count": 4, "switches_per_pod": 8, "host_count": 480,
+                        "seed": 2015},
+            ),
+            traffic=TraceSpec.mix(mix),
+            systems=("openflow", "lazyctrl-dynamic"),
+            config=default_grouping_config(32),
         ),
     )
 
@@ -189,6 +271,21 @@ _PRESETS: Dict[str, Preset] = {
             name="churn-tenant-wave",
             description="Tenant arrival/departure wave (hours 6-18) over light migration churn",
             build=_churn_tenant_wave,
+        ),
+        Preset(
+            name="traffic-mix",
+            description="Composed mix: realistic baseline + elephant/mice overlay + 9-11am incast burst",
+            build=_traffic_mix,
+        ),
+        Preset(
+            name="striped-antilocal",
+            description="Realistic trace on the striped anti-local topology that defeats grouping",
+            build=_striped_antilocal,
+        ),
+        Preset(
+            name="multi-pod-shuffle",
+            description="Shuffle waves + uniform background on a 4-pod topology (two locality tiers)",
+            build=_multi_pod_shuffle,
         ),
     )
 }

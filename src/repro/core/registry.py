@@ -22,10 +22,10 @@ core code:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Protocol, runtime_checkable
+from typing import Callable, List, Protocol, runtime_checkable
 
 from repro.common.config import LazyCtrlConfig
-from repro.common.errors import ConfigurationError
+from repro.common.registry import NamedRegistry
 from repro.core.results import SystemCounters
 from repro.simulation.metrics import CounterSeries, LatencyRecorder
 from repro.topology.network import DataCenterNetwork
@@ -109,7 +109,11 @@ class ControlPlaneEntry:
         )
 
 
-_REGISTRY: Dict[str, ControlPlaneEntry] = {}
+_REGISTRY: NamedRegistry[ControlPlaneEntry] = NamedRegistry(
+    kind="control plane",
+    name_label="control-plane name",
+    known_label="registered designs",
+)
 
 
 def register_control_plane(
@@ -129,19 +133,18 @@ def register_control_plane(
         def build_my_design(network, *, config=None, **buckets):
             return MyDesign(network, config=config, **buckets)
     """
-    if not name or not name.strip():
-        raise ConfigurationError("control-plane name must be a non-empty string")
+    _REGISTRY.validate_name(name)
 
     def decorator(factory: ControlPlaneFactory) -> ControlPlaneFactory:
-        if name in _REGISTRY and not replace:
-            raise ConfigurationError(
-                f"control plane {name!r} is already registered; pass replace=True to override"
-            )
-        _REGISTRY[name] = ControlPlaneEntry(
-            name=name,
-            factory=factory,
-            label=label or name,
-            description=description,
+        _REGISTRY.add(
+            name,
+            ControlPlaneEntry(
+                name=name,
+                factory=factory,
+                label=label or name,
+                description=description,
+            ),
+            replace=replace,
         )
         return factory
 
@@ -150,23 +153,17 @@ def register_control_plane(
 
 def unregister_control_plane(name: str) -> None:
     """Remove a registered design (primarily for tests)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.remove(name)
 
 
 def get_control_plane(name: str) -> ControlPlaneEntry:
     """Look a registered design up by name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY)) or "<none>"
-        raise ConfigurationError(
-            f"unknown control plane {name!r}; registered designs: {known}"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def available_control_planes() -> List[ControlPlaneEntry]:
     """All registered designs, sorted by name."""
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    return _REGISTRY.available()
 
 
 def _register_builtin_control_planes() -> None:

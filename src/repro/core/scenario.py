@@ -3,35 +3,48 @@
 A :class:`ScenarioSpec` fully describes one experiment without holding any
 live objects: the topology to build, the trace to generate over it, which
 registered control planes to drive, the replay schedule, the system
-configuration, and (optionally) a failure-injection plan.  Specs are frozen,
-comparable and JSON-round-trippable (``ScenarioSpec.from_dict(spec.to_dict())
-== spec``), so they can be stored next to results, shipped to worker
-processes, and diffed between runs.
+configuration, and (optionally) failure-injection and churn plans.  Specs are
+frozen, comparable and JSON-round-trippable (``ScenarioSpec.from_dict(
+spec.to_dict()) == spec``), so they can be stored next to results, shipped to
+worker processes, and diffed between runs.
 
-The spec family reuses the existing declarative profiles —
-:class:`~repro.topology.builder.TopologyProfile`,
-:class:`~repro.traffic.realistic.RealisticTraceProfile`,
-:class:`~repro.traffic.synthetic.SyntheticTraceSpec` and
-:class:`~repro.common.config.LazyCtrlConfig` — rather than duplicating their
-knobs.
+Workloads are referenced purely by registry name:
+
+* :class:`TopologySpec` names a shape from
+  :mod:`repro.topology.registry` (``"multi-tenant"``, ``"striped"``,
+  ``"multi-pod"``, ...) plus a raw params dict;
+* :class:`TraceSpec` names a traffic model from
+  :mod:`repro.traffic.registry` (``"realistic"``, ``"elephant-mice"``,
+  ``"mix"``, ...) plus a raw params dict, with the §V-D expansion riding on
+  top.
+
+Both resolve their registry entry lazily at build time, so specs for
+third-party models can be constructed before the plugin module is imported.
+Legacy spec JSON from before the registries existed (``topology`` as a bare
+profile dict, ``traffic`` with a ``kind`` discriminator) still loads through
+a compatibility shim in :meth:`ScenarioSpec.from_dict`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.churn.spec import ChurnSpec
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ConfigurationError
-from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
-from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.common.serialize import dataclass_from_dict, dataclass_to_dict, to_jsonable
+from repro.topology.builder import TopologyProfile
 from repro.topology.network import DataCenterNetwork
+from repro.topology.registry import TopologyEntry, get_topology
 from repro.traffic.expand import expand_trace
-from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
-from repro.traffic.synthetic import SyntheticTraceGenerator, SyntheticTraceSpec
+from repro.traffic.mix import TrafficMixSpec
+from repro.traffic.realistic import RealisticTraceProfile
+from repro.traffic.registry import TrafficModelEntry, get_traffic_model
+from repro.traffic.synthetic import SyntheticTraceSpec
 from repro.traffic.trace import Trace
 
 
@@ -70,29 +83,98 @@ class ScheduleSpec:
         return self.bucket_hours * 3600.0
 
 
+def _merge_registry_params(
+    kind: str,
+    name: str,
+    supported: frozenset,
+    params: Dict[str, Any],
+    overrides: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Merge ``overrides`` into ``params``, rejecting keys ``name`` can't take."""
+    unsupported = sorted(set(overrides) - supported)
+    if unsupported:
+        keys = ", ".join(repr(key) for key in unsupported)
+        raise ConfigurationError(
+            f"{kind} {name!r} does not accept {keys}; "
+            f"supported params: {', '.join(sorted(supported))}"
+        )
+    return {**params, **overrides}
+
+
+@dataclass(frozen=True, slots=True)
+class TopologySpec:
+    """Which registered topology shape to build, and with which params."""
+
+    shape: str = "multi-tenant"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.shape or not self.shape.strip():
+            raise ConfigurationError("topology shape must be a non-empty string")
+        object.__setattr__(self, "params", dict(to_jsonable(dict(self.params))))
+
+    @classmethod
+    def from_profile(cls, profile: TopologyProfile) -> "TopologySpec":
+        """Wrap a classic multi-tenant profile into a registry-backed spec."""
+        return cls(shape="multi-tenant", params=dataclass_to_dict(profile))
+
+    # -- registry resolution -------------------------------------------------
+
+    def entry(self) -> TopologyEntry:
+        """The registry entry this spec references (raises on unknown shape)."""
+        return get_topology(self.shape)
+
+    def resolved_params(self) -> Any:
+        """The params dict validated into the shape's params dataclass."""
+        return self.entry().make_params(self.params)
+
+    def build(self) -> DataCenterNetwork:
+        """Build the data-center topology this spec describes."""
+        return self.entry().build(self.params)
+
+    # -- conveniences --------------------------------------------------------
+
+    def dimensions(self) -> Tuple[Optional[int], Optional[int]]:
+        """Best-effort ``(switch_count, host_count)`` for display/benchmarks."""
+        params = self.resolved_params()
+        return (
+            getattr(params, "switch_count", None),
+            getattr(params, "host_count", None),
+        )
+
+    def with_params(self, **overrides: Any) -> "TopologySpec":
+        """A copy with ``overrides`` merged into ``params``.
+
+        Raises :class:`~repro.common.errors.ConfigurationError` when the
+        shape's params dataclass does not accept an override's key.
+        """
+        merged = _merge_registry_params(
+            "topology shape", self.shape, self.entry().param_names(), self.params, overrides
+        )
+        return dataclasses.replace(self, params=merged)
+
+
 @dataclass(frozen=True, slots=True)
 class TraceSpec:
-    """Which trace to generate: real-like, synthetic (p/q), plus expansion.
+    """Which registered traffic model generates the trace, plus expansion.
 
-    ``kind`` selects the generator: ``"realistic"`` uses the day-long
-    enterprise-trace substitute, ``"synthetic"`` the paper's p/q
-    construction (``synthetic`` must then be set).  A positive
-    ``expand_fraction`` additionally applies the §V-D "extra flows among
-    previously silent pairs" expansion to the generated trace.
+    ``model`` names an entry of :mod:`repro.traffic.registry`; ``params`` is
+    the raw (JSON-shaped) mapping validated into the model's params
+    dataclass at build time.  A positive ``expand_fraction`` additionally
+    applies the §V-D "extra flows among previously silent pairs" expansion
+    to the generated trace.
     """
 
-    kind: str = "realistic"
-    realistic: RealisticTraceProfile = field(default_factory=RealisticTraceProfile)
-    synthetic: Optional[SyntheticTraceSpec] = None
+    model: str = "realistic"
+    params: Dict[str, Any] = field(default_factory=dict)
     expand_fraction: float = 0.0
     expand_window_hours: Tuple[float, float] = (8.0, 24.0)
     expand_seed: int = 2015
 
     def __post_init__(self) -> None:
-        if self.kind not in ("realistic", "synthetic"):
-            raise ConfigurationError("trace kind must be 'realistic' or 'synthetic'")
-        if self.kind == "synthetic" and self.synthetic is None:
-            raise ConfigurationError("a synthetic trace spec requires the 'synthetic' profile")
+        if not self.model or not self.model.strip():
+            raise ConfigurationError("traffic model must be a non-empty string")
+        object.__setattr__(self, "params", dict(to_jsonable(dict(self.params))))
         if not 0.0 <= self.expand_fraction <= 5.0:
             raise ConfigurationError("expand_fraction must be in [0, 5]")
         start, end = self.expand_window_hours
@@ -100,12 +182,66 @@ class TraceSpec:
             raise ConfigurationError("expand_window_hours must have positive length")
         object.__setattr__(self, "expand_window_hours", (float(start), float(end)))
 
+    # -- constructors for the common models ----------------------------------
+
+    @classmethod
+    def realistic(
+        cls, profile: RealisticTraceProfile | None = None, **params: Any
+    ) -> "TraceSpec":
+        """A realistic-model spec from a profile or from sparse knobs."""
+        if profile is not None and params:
+            raise ConfigurationError("pass either a profile or keyword params, not both")
+        return cls(
+            model="realistic",
+            params=dataclass_to_dict(profile) if profile is not None else params,
+        )
+
+    @classmethod
+    def synthetic(
+        cls, spec: SyntheticTraceSpec | None = None, **params: Any
+    ) -> "TraceSpec":
+        """A synthetic p/q-model spec from a profile or from sparse knobs."""
+        if spec is not None and params:
+            raise ConfigurationError("pass either a spec or keyword params, not both")
+        return cls(
+            model="synthetic",
+            params=dataclass_to_dict(spec) if spec is not None else params,
+        )
+
+    @classmethod
+    def mix(cls, mix_spec: TrafficMixSpec) -> "TraceSpec":
+        """A composed-mix spec (see :class:`~repro.traffic.mix.TrafficMixSpec`)."""
+        return cls(model="mix", params=dataclass_to_dict(mix_spec))
+
+    # -- registry resolution -------------------------------------------------
+
+    def entry(self) -> TrafficModelEntry:
+        """The registry entry this spec references (raises on unknown model)."""
+        return get_traffic_model(self.model)
+
+    def resolved_params(self) -> Any:
+        """The params dict validated into the model's params dataclass."""
+        return self.entry().make_params(self.params)
+
+    def with_params(self, **overrides: Any) -> "TraceSpec":
+        """A copy with ``overrides`` merged into ``params``.
+
+        Raises :class:`~repro.common.errors.ConfigurationError` when the
+        model's params dataclass does not accept an override's key.
+        """
+        merged = _merge_registry_params(
+            "traffic model", self.model, self.entry().param_names(), self.params, overrides
+        )
+        return dataclasses.replace(self, params=merged)
+
+    @property
+    def total_flows(self) -> Optional[int]:
+        """The model's flow budget, when its params expose one."""
+        return getattr(self.resolved_params(), "total_flows", None)
+
     def build(self, network: DataCenterNetwork, *, name: str = "scenario") -> Trace:
         """Generate the trace this spec describes over ``network``."""
-        if self.kind == "synthetic":
-            trace = SyntheticTraceGenerator(network).generate(self.synthetic)
-        else:
-            trace = RealisticTraceGenerator(network, self.realistic).generate(name=name)
+        trace = self.entry().build(network, self.params, name=name)
         if self.expand_fraction > 0.0:
             start, end = self.expand_window_hours
             trace = expand_trace(
@@ -141,13 +277,37 @@ class FailureInjectionSpec:
         object.__setattr__(self, "at_hours", tuple(float(hour) for hour in self.at_hours))
 
 
+def _modernize_topology(data: Any) -> Any:
+    """Shim: a pre-registry bare profile dict becomes a multi-tenant spec."""
+    if isinstance(data, Mapping) and "shape" not in data and "params" not in data:
+        return {"shape": "multi-tenant", "params": dict(data)}
+    return data
+
+
+def _modernize_traffic(data: Any) -> Any:
+    """Shim: a pre-registry ``kind``-discriminated trace dict becomes model+params."""
+    if not isinstance(data, Mapping) or "model" in data or "kind" not in data:
+        return data
+    kind = data.get("kind", "realistic")
+    modern: Dict[str, Any] = {
+        "model": kind,
+        "params": dict(data.get(kind) or {}),
+    }
+    for key in ("expand_fraction", "expand_window_hours", "expand_seed"):
+        if key in data:
+            modern[key] = data[key]
+    return modern
+
+
 @dataclass(frozen=True, slots=True)
 class ScenarioSpec:
     """A fully declarative description of one experiment."""
 
     name: str
-    topology: TopologyProfile = field(
-        default_factory=lambda: TopologyProfile(switch_count=48, host_count=600)
+    topology: TopologySpec = field(
+        default_factory=lambda: TopologySpec(
+            shape="multi-tenant", params={"switch_count": 48, "host_count": 600}
+        )
     )
     traffic: TraceSpec = field(default_factory=TraceSpec)
     systems: Tuple[str, ...] = ("openflow", "lazyctrl-static", "lazyctrl-dynamic")
@@ -159,6 +319,10 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
             raise ConfigurationError("scenario name must be a non-empty string")
+        # A classic TopologyProfile still works everywhere a TopologySpec is
+        # expected; it is wrapped into the registry-backed form on entry.
+        if isinstance(self.topology, TopologyProfile):
+            object.__setattr__(self, "topology", TopologySpec.from_profile(self.topology))
         if isinstance(self.systems, str):
             raise ConfigurationError(
                 "systems must be a sequence of names, e.g. ('openflow',), not a bare string"
@@ -181,7 +345,7 @@ class ScenarioSpec:
 
     def build_network(self) -> DataCenterNetwork:
         """Build the data-center topology this spec describes."""
-        return build_multi_tenant_datacenter(self.topology)
+        return self.topology.build()
 
     def build_trace(self, network: DataCenterNetwork) -> Trace:
         """Generate the trace this spec describes over ``network``."""
@@ -195,8 +359,18 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
-        return dataclass_from_dict(cls, data)
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Spec JSON written before the workload registries existed (PR ≤ 3:
+        ``topology`` as a bare profile dict, ``traffic`` with a ``kind``
+        discriminator) is transparently upgraded to the registry form.
+        """
+        data = dict(data)
+        if "topology" in data:
+            data["topology"] = _modernize_topology(data["topology"])
+        if "traffic" in data:
+            data["traffic"] = _modernize_traffic(data["traffic"])
+        return dataclass_from_dict(cls, data, path="spec")
 
     def to_json(self, *, indent: int | None = 2) -> str:
         """This spec as a JSON document."""

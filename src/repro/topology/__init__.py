@@ -1,6 +1,8 @@
-"""Topology and tenancy: hosts, tenants, edge switches and the data-center model."""
+"""Topology and tenancy: hosts, tenants, edge switches, shapes and the registry."""
 
 from repro.topology.builder import (
+    PaperRealTopologyParams,
+    PaperSyntheticTopologyParams,
     TopologyProfile,
     build_multi_tenant_datacenter,
     build_paper_real_topology,
@@ -8,16 +10,40 @@ from repro.topology.builder import (
 )
 from repro.topology.host import Host
 from repro.topology.network import DataCenterNetwork, EdgeSwitchInfo
+from repro.topology.registry import (
+    TopologyEntry,
+    available_topologies,
+    get_topology,
+    register_topology,
+    unregister_topology,
+)
+from repro.topology.shapes import (
+    MultiPodTopologyParams,
+    StripedTopologyParams,
+    build_multi_pod_datacenter,
+    build_striped_datacenter,
+)
 from repro.topology.tenant import Tenant, TenantDirectory
 
 __all__ = [
     "DataCenterNetwork",
     "EdgeSwitchInfo",
     "Host",
+    "MultiPodTopologyParams",
+    "PaperRealTopologyParams",
+    "PaperSyntheticTopologyParams",
+    "StripedTopologyParams",
     "Tenant",
     "TenantDirectory",
+    "TopologyEntry",
     "TopologyProfile",
+    "available_topologies",
+    "build_multi_pod_datacenter",
     "build_multi_tenant_datacenter",
     "build_paper_real_topology",
     "build_paper_synthetic_topology",
+    "build_striped_datacenter",
+    "get_topology",
+    "register_topology",
+    "unregister_topology",
 ]

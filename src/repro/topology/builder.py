@@ -78,6 +78,50 @@ def build_multi_tenant_datacenter(profile: TopologyProfile) -> DataCenterNetwork
     return network
 
 
+@dataclass(frozen=True, slots=True)
+class PaperRealTopologyParams:
+    """Params of the registered ``"paper-real"`` shape (272 sw / 6509 hosts x scale)."""
+
+    scale: float = 1.0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+
+    @property
+    def switch_count(self) -> int:
+        """Edge switches at this scale."""
+        return max(8, round(272 * self.scale))
+
+    @property
+    def host_count(self) -> int:
+        """Hosts at this scale."""
+        return max(64, round(6509 * self.scale))
+
+
+@dataclass(frozen=True, slots=True)
+class PaperSyntheticTopologyParams:
+    """Params of the registered ``"paper-synthetic"`` shape (2713 sw / 65090 hosts x scale)."""
+
+    scale: float = 1.0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+
+    @property
+    def switch_count(self) -> int:
+        """Edge switches at this scale."""
+        return max(16, round(2713 * self.scale))
+
+    @property
+    def host_count(self) -> int:
+        """Hosts at this scale."""
+        return max(128, round(65090 * self.scale))
+
+
 def build_paper_real_topology(*, scale: float = 1.0, seed: int = 2015) -> DataCenterNetwork:
     """Topology with the dimensions of the paper's real trace (272 switches, 6509 hosts).
 

@@ -1,8 +1,26 @@
-"""Traffic traces: flow records, generators, expansion and replay."""
+"""Traffic traces: flow records, generators, mixes, the model registry and replay."""
 
 from repro.traffic.expand import expand_trace
 from repro.traffic.flow import FlowRecord
+from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec, generate_mix_trace
+from repro.traffic.models import (
+    AllToAllShuffleParams,
+    ElephantMiceParams,
+    IncastHotspotParams,
+    UniformBackgroundParams,
+    generate_all_to_all_shuffle,
+    generate_elephant_mice,
+    generate_incast_hotspot,
+    generate_uniform_background,
+)
 from repro.traffic.realistic import DIURNAL_PROFILE, RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.registry import (
+    TrafficModelEntry,
+    available_traffic_models,
+    get_traffic_model,
+    register_traffic_model,
+    unregister_traffic_model,
+)
 from repro.traffic.replay import FlowSink, ReplayProgress, TraceReplayer
 from repro.traffic.synthetic import (
     PAPER_SYNTHETIC_SPECS,
@@ -13,9 +31,12 @@ from repro.traffic.synthetic import (
 from repro.traffic.trace import PairActivity, Trace
 
 __all__ = [
+    "AllToAllShuffleParams",
     "DIURNAL_PROFILE",
+    "ElephantMiceParams",
     "FlowRecord",
     "FlowSink",
+    "IncastHotspotParams",
     "PAPER_SYNTHETIC_SPECS",
     "PairActivity",
     "RealisticTraceGenerator",
@@ -25,6 +46,19 @@ __all__ = [
     "SyntheticTraceSpec",
     "Trace",
     "TraceReplayer",
+    "TrafficComponentSpec",
+    "TrafficMixSpec",
+    "TrafficModelEntry",
+    "UniformBackgroundParams",
+    "available_traffic_models",
     "expand_trace",
+    "generate_all_to_all_shuffle",
+    "generate_elephant_mice",
+    "generate_incast_hotspot",
+    "generate_mix_trace",
+    "generate_uniform_background",
+    "get_traffic_model",
     "paper_synthetic_specs",
+    "register_traffic_model",
+    "unregister_traffic_model",
 ]

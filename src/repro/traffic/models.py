@@ -1,0 +1,330 @@
+"""Built-in traffic models beyond the paper's two generators.
+
+Each model is a deterministic trace generator with a frozen params dataclass,
+registered by name in :mod:`repro.traffic.registry`.  They cover the workload
+shapes the paper's evaluation gestures at but never isolates:
+
+* **elephant/mice** — a handful of heavy, long-lived host pairs (elephants)
+  over a swarm of short mice flows; locality lives in the elephants, so
+  grouping gains hinge on where those few pairs sit;
+* **incast hotspot** — many sources fanning in on a few hot destination
+  hosts (storage frontends, reducers), optionally compressed into a burst
+  window to model a synchronized stampede;
+* **all-to-all shuffle** — periodic waves in which a participant set
+  exchanges flows pairwise (the MapReduce shuffle shape), the workload with
+  the *least* exploitable pair locality;
+* **uniform background** — uniformly random pairs at uniformly random
+  times, the locality-free floor every other model is compared against.
+
+All generators derive their RNG stream from the params seed only (not the
+trace name), so a model's output is a pure function of its params over a
+given topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError, TrafficError
+from repro.common.rng import make_rng, sample_zipf_index
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.flow import FlowRecord
+from repro.traffic.trace import Trace
+
+
+def _require_hosts(network: DataCenterNetwork, minimum: int = 4) -> int:
+    host_count = network.host_count()
+    if host_count < minimum:
+        raise TrafficError(f"the topology needs at least {minimum} hosts to generate traffic")
+    return host_count
+
+
+def _random_pair(rng, host_count: int) -> Tuple[int, int]:
+    src = rng.randrange(host_count)
+    dst = rng.randrange(host_count)
+    while dst == src:
+        dst = rng.randrange(host_count)
+    return src, dst
+
+
+def _mice_payload(rng) -> Tuple[int, int, float]:
+    packet_count = max(1, int(rng.expovariate(1.0 / 8.0)) + 1)
+    return packet_count, packet_count * 1400, min(30.0, packet_count * 0.05)
+
+
+# -- elephant / mice ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ElephantMiceParams:
+    """Knobs of the elephant/mice model."""
+
+    total_flows: int = 200_000
+    duration_hours: float = 24.0
+    elephant_pair_count: int = 32
+    elephant_flow_fraction: float = 0.2
+    elephant_intra_tenant_fraction: float = 0.9
+    elephant_packet_mean: float = 400.0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.total_flows <= 0:
+            raise ConfigurationError("total_flows must be positive")
+        if self.duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        if self.elephant_pair_count < 1:
+            raise ConfigurationError("elephant_pair_count must be at least 1")
+        if not 0.0 <= self.elephant_flow_fraction <= 1.0:
+            raise ConfigurationError("elephant_flow_fraction must be in [0, 1]")
+        if not 0.0 <= self.elephant_intra_tenant_fraction <= 1.0:
+            raise ConfigurationError("elephant_intra_tenant_fraction must be in [0, 1]")
+        if self.elephant_packet_mean <= 0:
+            raise ConfigurationError("elephant_packet_mean must be positive")
+
+
+def generate_elephant_mice(
+    network: DataCenterNetwork, params: ElephantMiceParams, *, name: str = "elephant-mice"
+) -> Trace:
+    """Few heavy pairs (elephants) over many light random flows (mice)."""
+    host_count = _require_hosts(network)
+    rng = make_rng(params.seed, "elephant-mice")
+
+    tenants = [tenant for tenant in network.tenants.tenants() if tenant.size >= 2]
+    elephants: List[Tuple[int, int]] = []
+    seen = set()
+    attempts = 0
+    while len(elephants) < params.elephant_pair_count and attempts < params.elephant_pair_count * 50:
+        attempts += 1
+        if tenants and rng.random() < params.elephant_intra_tenant_fraction:
+            tenant = tenants[rng.randrange(len(tenants))]
+            a, b = rng.sample(tenant.host_ids, 2)
+        else:
+            a, b = _random_pair(rng, host_count)
+        pair = (a, b) if a < b else (b, a)
+        if pair not in seen:
+            seen.add(pair)
+            elephants.append(pair)
+    if not elephants:
+        raise TrafficError("no elephant pairs could be selected")
+
+    seconds = params.duration_hours * 3600.0
+    flows: List[FlowRecord] = []
+    for flow_id in range(params.total_flows):
+        timestamp = rng.random() * seconds
+        if rng.random() < params.elephant_flow_fraction:
+            src, dst = elephants[rng.randrange(len(elephants))]
+            if rng.random() < 0.5:
+                src, dst = dst, src
+            packet_count = max(1, int(rng.expovariate(1.0 / params.elephant_packet_mean)) + 1)
+            byte_count = packet_count * 1400
+            duration = min(600.0, packet_count * 0.05)
+        else:
+            src, dst = _random_pair(rng, host_count)
+            packet_count, byte_count, duration = _mice_payload(rng)
+        flows.append(
+            FlowRecord(
+                start_time=timestamp,
+                flow_id=flow_id,
+                src_host_id=src,
+                dst_host_id=dst,
+                packet_count=packet_count,
+                byte_count=byte_count,
+                duration=duration,
+            )
+        )
+    return Trace(name, network, flows)
+
+
+# -- incast hotspot -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IncastHotspotParams:
+    """Knobs of the incast-hotspot model."""
+
+    total_flows: int = 200_000
+    duration_hours: float = 24.0
+    hotspot_count: int = 4
+    hotspot_flow_fraction: float = 0.7
+    hotspot_zipf_exponent: float = 0.8
+    burst_window_hours: Tuple[float, float] | None = None
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.total_flows <= 0:
+            raise ConfigurationError("total_flows must be positive")
+        if self.duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        if self.hotspot_count < 1:
+            raise ConfigurationError("hotspot_count must be at least 1")
+        if not 0.0 <= self.hotspot_flow_fraction <= 1.0:
+            raise ConfigurationError("hotspot_flow_fraction must be in [0, 1]")
+        if self.hotspot_zipf_exponent <= 0:
+            raise ConfigurationError("hotspot_zipf_exponent must be positive")
+        if self.burst_window_hours is not None:
+            start, end = self.burst_window_hours
+            if start < 0 or end > self.duration_hours or end <= start:
+                raise ConfigurationError(
+                    "burst_window_hours must lie inside [0, duration_hours] with positive length"
+                )
+            object.__setattr__(self, "burst_window_hours", (float(start), float(end)))
+
+
+def generate_incast_hotspot(
+    network: DataCenterNetwork, params: IncastHotspotParams, *, name: str = "incast-hotspot"
+) -> Trace:
+    """Fan-in traffic onto a few hot destination hosts."""
+    host_count = _require_hosts(network)
+    rng = make_rng(params.seed, "incast-hotspot")
+
+    hotspot_count = min(params.hotspot_count, host_count - 1)
+    hotspots = rng.sample(range(host_count), hotspot_count)
+
+    seconds = params.duration_hours * 3600.0
+    if params.burst_window_hours is not None:
+        burst_start = params.burst_window_hours[0] * 3600.0
+        burst_span = (params.burst_window_hours[1] - params.burst_window_hours[0]) * 3600.0
+    else:
+        burst_start, burst_span = 0.0, seconds
+
+    flows: List[FlowRecord] = []
+    for flow_id in range(params.total_flows):
+        if rng.random() < params.hotspot_flow_fraction:
+            dst = hotspots[sample_zipf_index(rng, len(hotspots), params.hotspot_zipf_exponent)]
+            src = rng.randrange(host_count)
+            while src == dst:
+                src = rng.randrange(host_count)
+            timestamp = burst_start + rng.random() * burst_span
+        else:
+            src, dst = _random_pair(rng, host_count)
+            timestamp = rng.random() * seconds
+        packet_count, byte_count, duration = _mice_payload(rng)
+        flows.append(
+            FlowRecord(
+                start_time=timestamp,
+                flow_id=flow_id,
+                src_host_id=src,
+                dst_host_id=dst,
+                packet_count=packet_count,
+                byte_count=byte_count,
+                duration=duration,
+            )
+        )
+    return Trace(name, network, flows)
+
+
+# -- all-to-all shuffle -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AllToAllShuffleParams:
+    """Knobs of the all-to-all shuffle model."""
+
+    total_flows: int = 200_000
+    duration_hours: float = 24.0
+    phase_count: int = 4
+    phase_duration_hours: float = 0.5
+    participant_fraction: float = 1.0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.total_flows <= 0:
+            raise ConfigurationError("total_flows must be positive")
+        if self.duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+        if self.phase_count < 1:
+            raise ConfigurationError("phase_count must be at least 1")
+        if not 0 < self.phase_duration_hours <= self.duration_hours / self.phase_count:
+            raise ConfigurationError(
+                "phase_duration_hours must be positive and phases must fit the duration "
+                "(phase_count * phase_duration_hours <= duration_hours)"
+            )
+        if not 0.0 < self.participant_fraction <= 1.0:
+            raise ConfigurationError("participant_fraction must be in (0, 1]")
+
+
+def generate_all_to_all_shuffle(
+    network: DataCenterNetwork, params: AllToAllShuffleParams, *, name: str = "all-to-all-shuffle"
+) -> Trace:
+    """Periodic shuffle waves: participants exchange flows pairwise."""
+    host_count = _require_hosts(network)
+    rng = make_rng(params.seed, "all-to-all-shuffle")
+
+    participant_count = max(2, int(round(host_count * params.participant_fraction)))
+    phase_span = params.phase_duration_hours * 3600.0
+    # Phases are evenly spaced across the day, each starting on its slot.
+    slot = params.duration_hours * 3600.0 / params.phase_count
+
+    per_phase = [params.total_flows // params.phase_count] * params.phase_count
+    for index in range(params.total_flows % params.phase_count):
+        per_phase[index] += 1
+
+    flows: List[FlowRecord] = []
+    flow_id = 0
+    for phase in range(params.phase_count):
+        participants = rng.sample(range(host_count), min(participant_count, host_count))
+        phase_start = phase * slot
+        for _ in range(per_phase[phase]):
+            src = participants[rng.randrange(len(participants))]
+            dst = participants[rng.randrange(len(participants))]
+            while dst == src:
+                dst = participants[rng.randrange(len(participants))]
+            timestamp = phase_start + rng.random() * phase_span
+            packet_count, byte_count, duration = _mice_payload(rng)
+            flows.append(
+                FlowRecord(
+                    start_time=timestamp,
+                    flow_id=flow_id,
+                    src_host_id=src,
+                    dst_host_id=dst,
+                    packet_count=packet_count,
+                    byte_count=byte_count,
+                    duration=duration,
+                )
+            )
+            flow_id += 1
+    return Trace(name, network, flows)
+
+
+# -- uniform background -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class UniformBackgroundParams:
+    """Knobs of the uniform background model."""
+
+    total_flows: int = 200_000
+    duration_hours: float = 24.0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.total_flows <= 0:
+            raise ConfigurationError("total_flows must be positive")
+        if self.duration_hours <= 0:
+            raise ConfigurationError("duration_hours must be positive")
+
+
+def generate_uniform_background(
+    network: DataCenterNetwork, params: UniformBackgroundParams, *, name: str = "uniform"
+) -> Trace:
+    """Uniformly random pairs at uniformly random times — the locality floor."""
+    host_count = _require_hosts(network)
+    rng = make_rng(params.seed, "uniform-background")
+    seconds = params.duration_hours * 3600.0
+    flows: List[FlowRecord] = []
+    for flow_id in range(params.total_flows):
+        src, dst = _random_pair(rng, host_count)
+        packet_count, byte_count, duration = _mice_payload(rng)
+        flows.append(
+            FlowRecord(
+                start_time=rng.random() * seconds,
+                flow_id=flow_id,
+                src_host_id=src,
+                dst_host_id=dst,
+                packet_count=packet_count,
+                byte_count=byte_count,
+                duration=duration,
+            )
+        )
+    return Trace(name, network, flows)

@@ -40,7 +40,7 @@ class RealisticTraceProfile:
     """Parameters of the real-like trace generator."""
 
     total_flows: int = 200_000
-    duration_hours: int = 24
+    duration_hours: float = 24.0
     intra_tenant_fraction: float = 0.95
     active_pair_fraction: float = 0.002
     hot_pair_fraction: float = 0.10
@@ -153,14 +153,25 @@ class RealisticTraceGenerator:
         return ordered
 
     @staticmethod
-    def _diurnal_timestamps(rng, total_flows: int, duration_hours: int) -> List[float]:
-        """Draw flow arrival times following the diurnal profile."""
-        weights = [DIURNAL_PROFILE[hour % 24] for hour in range(duration_hours)]
-        weight_sum = sum(weights)
+    def _diurnal_timestamps(rng, total_flows: int, duration_hours: float) -> List[float]:
+        """Draw flow arrival times following the diurnal profile.
+
+        Fractional durations cover a final partial hour: its weight is the
+        hour's diurnal weight scaled by the fraction, and its timestamps
+        stay inside the fraction, so no flow lands past ``duration_hours``.
+        Whole-hour durations take the exact integer code path (identical
+        RNG consumption), keeping historical traces bit-for-bit stable.
+        """
+        full_hours = int(duration_hours)
+        final_fraction = duration_hours - full_hours
+        weights = [(DIURNAL_PROFILE[hour % 24], 1.0) for hour in range(full_hours)]
+        if final_fraction > 0.0:
+            weights.append((DIURNAL_PROFILE[full_hours % 24] * final_fraction, final_fraction))
+        weight_sum = sum(weight for weight, _ in weights)
         timestamps: List[float] = []
-        for hour, weight in enumerate(weights):
+        for hour, (weight, span) in enumerate(weights):
             count = round(total_flows * weight / weight_sum)
             for _ in range(count):
-                timestamps.append(hour * 3600.0 + rng.random() * 3600.0)
+                timestamps.append(hour * 3600.0 + rng.random() * 3600.0 * span)
         timestamps.sort()
         return timestamps

@@ -1,0 +1,216 @@
+"""The pluggable traffic-model registry.
+
+PR 1 made control planes pluggable (``@register_control_plane``); this module
+extends the same pattern to the *workload* half of a scenario.  A traffic
+model is a named trace generator:
+
+* each model owns a frozen **params dataclass** (its knobs, JSON-shaped) and
+  a **factory** that turns a topology plus validated params into a
+  :class:`~repro.traffic.trace.Trace`;
+* :func:`register_traffic_model` registers the pair under a short name
+  (``"realistic"``, ``"elephant-mice"``, ...); third-party generators plug
+  in with the same decorator from their own modules;
+* :class:`~repro.core.scenario.TraceSpec` references a model purely by name
+  plus a plain params dict, which is what keeps scenario specs
+  JSON-serializable and lets :class:`~repro.traffic.mix.TrafficMixSpec`
+  compose any registered models into one merged trace.
+
+Models whose params expose ``total_flows`` / ``duration_hours`` / ``seed``
+(all the built-ins do) are automatically composable by the ``"mix"`` model,
+which rescales those knobs per component.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Mapping, Optional
+
+from repro.common.registry import (
+    NamedRegistry,
+    make_entry_params,
+    params_field_names,
+    require_params_dataclass,
+)
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.trace import Trace
+
+#: Builds one trace over a network from validated params; ``name`` labels the
+#: resulting trace (generators may fold it into their RNG stream labels).
+TrafficModelFactory = Callable[..., Trace]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TrafficModelEntry:
+    """One registered traffic model."""
+
+    name: str
+    factory: TrafficModelFactory
+    params_type: type
+    label: str
+    description: str = ""
+
+    def param_names(self) -> frozenset:
+        """Names of the knobs this model's params dataclass accepts."""
+        return params_field_names(self.params_type)
+
+    def make_params(self, params: Optional[Mapping[str, Any]] = None) -> Any:
+        """Validate a raw params mapping into this model's params dataclass.
+
+        Raises :class:`~repro.common.errors.ConfigurationError` naming any
+        unknown or missing key.
+        """
+        return make_entry_params(
+            self.params_type, params, path=f"traffic model {self.name!r} params"
+        )
+
+    def build(
+        self,
+        network: DataCenterNetwork,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        name: str = "trace",
+    ) -> Trace:
+        """Generate one trace over ``network`` from a raw params mapping."""
+        return self.factory(network, self.make_params(params), name=name)
+
+
+_REGISTRY: NamedRegistry[TrafficModelEntry] = NamedRegistry(
+    kind="traffic model",
+    name_label="traffic-model name",
+    known_label="registered models",
+)
+
+
+def register_traffic_model(
+    name: str,
+    *,
+    params: type,
+    label: str | None = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[TrafficModelFactory], TrafficModelFactory]:
+    """Register a traffic-model factory under ``name``.
+
+    Use as a decorator on a factory taking ``(network, params, *, name)``
+    and returning a :class:`~repro.traffic.trace.Trace`; ``params`` is the
+    frozen dataclass describing the model's knobs::
+
+        @dataclasses.dataclass(frozen=True)
+        class RingParams:
+            total_flows: int = 10_000
+            duration_hours: float = 24.0
+            seed: int = 1
+
+        @register_traffic_model("ring", params=RingParams, label="Ring")
+        def build_ring_trace(network, params, *, name="ring"):
+            ...
+            return Trace(name, network, flows)
+    """
+    _REGISTRY.validate_name(name)
+    require_params_dataclass("traffic model", name, params)
+
+    def decorator(factory: TrafficModelFactory) -> TrafficModelFactory:
+        _REGISTRY.add(
+            name,
+            TrafficModelEntry(
+                name=name,
+                factory=factory,
+                params_type=params,
+                label=label or name,
+                description=description,
+            ),
+            replace=replace,
+        )
+        return factory
+
+    return decorator
+
+
+def unregister_traffic_model(name: str) -> None:
+    """Remove a registered traffic model (primarily for tests)."""
+    _REGISTRY.remove(name)
+
+
+def get_traffic_model(name: str) -> TrafficModelEntry:
+    """Look a registered traffic model up by name."""
+    return _REGISTRY.get(name)
+
+
+def available_traffic_models() -> List[TrafficModelEntry]:
+    """All registered traffic models, sorted by name."""
+    return _REGISTRY.available()
+
+
+def _register_builtin_traffic_models() -> None:
+    """Register the built-in models (idempotent; called at import time)."""
+    if "realistic" in _REGISTRY:
+        return
+    from repro.traffic.mix import TrafficMixSpec, generate_mix_trace
+    from repro.traffic.models import (
+        AllToAllShuffleParams,
+        ElephantMiceParams,
+        IncastHotspotParams,
+        UniformBackgroundParams,
+        generate_all_to_all_shuffle,
+        generate_elephant_mice,
+        generate_incast_hotspot,
+        generate_uniform_background,
+    )
+    from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+    from repro.traffic.synthetic import SyntheticTraceGenerator, SyntheticTraceSpec
+
+    @register_traffic_model(
+        "realistic",
+        params=RealisticTraceProfile,
+        label="Realistic day-long",
+        description="Diurnal enterprise substitute: skewed pairs, tenant locality (paper §V-A)",
+    )
+    def _build_realistic(network, params, *, name="real-like"):
+        return RealisticTraceGenerator(network, params).generate(name=name)
+
+    @register_traffic_model(
+        "synthetic",
+        params=SyntheticTraceSpec,
+        label="Synthetic p/q",
+        description="The paper's p/q construction varying locality (Table II, §V-B)",
+    )
+    def _build_synthetic(network, params, *, name="synthetic"):
+        return SyntheticTraceGenerator(network).generate(params)
+
+    register_traffic_model(
+        "elephant-mice",
+        params=ElephantMiceParams,
+        label="Elephant/mice",
+        description="Few heavy long-lived pairs over a swarm of short mice flows",
+    )(generate_elephant_mice)
+
+    register_traffic_model(
+        "incast-hotspot",
+        params=IncastHotspotParams,
+        label="Incast hotspot",
+        description="Fan-in onto a few hot destination hosts, optionally burst-windowed",
+    )(generate_incast_hotspot)
+
+    register_traffic_model(
+        "all-to-all-shuffle",
+        params=AllToAllShuffleParams,
+        label="All-to-all shuffle",
+        description="Periodic shuffle waves where participants exchange flows pairwise",
+    )(generate_all_to_all_shuffle)
+
+    register_traffic_model(
+        "uniform",
+        params=UniformBackgroundParams,
+        label="Uniform background",
+        description="Locality-free baseline: uniform pairs, uniform arrival times",
+    )(generate_uniform_background)
+
+    register_traffic_model(
+        "mix",
+        params=TrafficMixSpec,
+        label="Traffic mix",
+        description="Weighted, time-windowed composition of other registered models",
+    )(generate_mix_trace)
+
+
+_register_builtin_traffic_models()

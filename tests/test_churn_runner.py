@@ -11,7 +11,6 @@ from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import EventKind
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
 from repro.traffic.replay import TraceReplayer
 from repro.traffic.trace import Trace
 
@@ -20,7 +19,7 @@ def churn_scenario(churn, *, systems=("openflow", "lazyctrl-static", "lazyctrl-d
     return ScenarioSpec(
         name="churn-test",
         topology=TopologyProfile(switch_count=8, host_count=80, seed=7),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=2_000, seed=7)),
+        traffic=TraceSpec.realistic(total_flows=2_000, seed=7),
         systems=systems,
         schedule=ScheduleSpec(duration_hours=6.0, bucket_hours=2.0),
         config=LazyCtrlConfig(

@@ -77,7 +77,7 @@ class TestScenarioIntegration:
         rebuilt = ScenarioSpec.from_dict(spec.to_dict())
         assert rebuilt.failures == spec.failures
         assert rebuilt.churn == spec.churn
-        assert rebuilt.traffic.synthetic is None
+        assert rebuilt.traffic.model == "realistic"
 
     def test_absent_churn_defaults_to_none(self):
         spec = ScenarioSpec(name="plain", systems=("openflow",))

@@ -3,11 +3,13 @@
 import json
 
 
-from repro.cli import main
+from pathlib import Path
+
+from repro.cli import BENCH_PRESETS, main
+from repro.core.presets import get_preset
 from repro.core.runner import ScenarioResult
 from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
 
 RUN_SMALL = [
     "--flows", "400",
@@ -23,6 +25,72 @@ class TestListScenarios:
         out = capsys.readouterr().out
         assert "paper-fig7" in out
         assert "lazyctrl-dynamic" in out
+
+
+class TestListWorkloads:
+    def test_list_traffic_models_shows_all_builtins(self, capsys):
+        assert main(["list-traffic-models"]) == 0
+        out = capsys.readouterr().out
+        for model in ("realistic", "synthetic", "elephant-mice", "incast-hotspot",
+                      "all-to-all-shuffle", "uniform", "mix"):
+            assert model in out
+        assert "total_flows" in out  # params column
+
+    def test_list_topologies_shows_all_builtins(self, capsys):
+        assert main(["list-topologies"]) == 0
+        out = capsys.readouterr().out
+        for shape in ("multi-tenant", "paper-real", "paper-synthetic", "striped", "multi-pod"):
+            assert shape in out
+
+
+class TestWorkloadOverrides:
+    def test_traffic_override_swaps_the_model(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--traffic", "uniform", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.traffic.model == "uniform"
+        assert result.spec.traffic.params["total_flows"] == 400
+
+    def test_topology_override_swaps_the_shape_and_carries_dimensions(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--topology", "striped", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.topology.shape == "striped"
+        assert result.spec.topology.dimensions() == (8, 60)
+
+    def test_unknown_traffic_model_fails_cleanly(self, capsys):
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--traffic", "nope"]) == 2
+        assert "unknown traffic model" in capsys.readouterr().err
+
+    def test_unknown_topology_fails_cleanly(self, capsys):
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--topology", "nope"]) == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_traffic_swap_carries_the_preset_scale(self, tmp_path, capsys):
+        # Without --flows, a --traffic swap must keep the preset's flow
+        # budget/seed rather than fall back to the model's 200k default.
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", "--switches", "8", "--hosts", "60",
+                     "--duration-hours", "2", "--systems", "openflow",
+                     "--traffic", "uniform", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.traffic.model == "uniform"
+        assert result.spec.traffic.params["total_flows"] == 20_000
+        assert result.spec.traffic.params["seed"] == 2015
+
+    def test_mix_preset_runs_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "traffic-mix", *RUN_SMALL, "--systems", "openflow",
+                     "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.traffic.model == "mix"
+        assert result.runs["openflow"].counters.flows_handled > 0
 
 
 class TestRun:
@@ -44,7 +112,7 @@ class TestRun:
         spec = ScenarioSpec(
             name="from-file",
             topology=TopologyProfile(switch_count=8, host_count=60, seed=9),
-            traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=300, seed=9)),
+            traffic=TraceSpec.realistic(total_flows=300, seed=9),
             systems=("openflow",),
             schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
         )
@@ -119,8 +187,10 @@ class TestBench:
         baseline_dir = tmp_path / "baselines"
         args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
         assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        # Wide tolerance: at this tiny scale the replay takes ~10ms, so
+        # wall-clock noise must not be what this test measures.
         code = main([*args, "--out-dir", str(tmp_path / "fresh"),
-                     "--check", "--baseline-dir", str(baseline_dir)])
+                     "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
         assert code == 0
         assert "OK: paper-fig7" in capsys.readouterr().out
 
@@ -133,7 +203,7 @@ class TestBench:
         payload["systems"]["openflow"]["total_controller_requests"] += 1
         baseline_path.write_text(json.dumps(payload))
         code = main([*args, "--out-dir", str(tmp_path / "fresh"),
-                     "--check", "--baseline-dir", str(baseline_dir)])
+                     "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
         assert code == 1
         err = capsys.readouterr().err
         assert "total_controller_requests" in err
@@ -158,7 +228,7 @@ class TestBench:
         assert main([*args, "--out-dir", str(baseline_dir)]) == 0
         (baseline_dir / "BENCH_ghost.json").write_text("{}")
         code = main([*args, "--out-dir", str(tmp_path / "fresh"),
-                     "--check", "--baseline-dir", str(baseline_dir)])
+                     "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
         assert code == 0
         assert "warning: committed baseline" in capsys.readouterr().out
 
@@ -168,7 +238,7 @@ class TestBench:
         assert main([*args, "--out-dir", str(baseline_dir)]) == 0
         (baseline_dir / "BENCH_removed-scenario.json").write_text("{}")
         code = main([*args, "--out-dir", str(tmp_path / "fresh"),
-                     "--check", "--baseline-dir", str(baseline_dir)])
+                     "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
         assert code == 1
         assert "not covered by any benchmark preset" in capsys.readouterr().err
 
@@ -243,3 +313,27 @@ class TestCompare:
 
     def test_compare_missing_file_fails(self, capsys):
         assert main(["compare", "/definitely/not/here.json"]) == 2
+
+
+class TestBenchBaselineCoverage:
+    def test_every_committed_baseline_is_produced_by_a_bench_preset(self):
+        """Static stale-baseline tripwire.
+
+        CI's gating bench step may run a preset subset (which only warns on
+        uncovered baselines), so this test enforces the invariant directly:
+        every committed BENCH_<scenario>.json must correspond to a scenario
+        some default bench preset still produces.
+        """
+        produced = {
+            spec.name
+            for preset_name in BENCH_PRESETS
+            for spec in get_preset(preset_name).specs()
+        }
+        baseline_dir = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        committed = {path.stem.removeprefix("BENCH_") for path in baseline_dir.glob("BENCH_*.json")}
+        assert committed, "no committed baselines found — the perf gate is empty"
+        assert committed <= produced, (
+            f"committed baselines {sorted(committed - produced)} are not produced by "
+            f"any default bench preset ({', '.join(BENCH_PRESETS)}); remove the file "
+            "or restore its scenario"
+        )

@@ -9,14 +9,13 @@ from repro.perf.baseline import check_against_baselines, compare_payloads
 from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder
 from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
 
 
 def small_spec(**overrides) -> ScenarioSpec:
     defaults = dict(
         name="perf-test",
         topology=TopologyProfile(switch_count=8, host_count=60, seed=7),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=400, seed=7)),
+        traffic=TraceSpec.realistic(total_flows=400, seed=7),
         systems=("openflow", "lazyctrl-dynamic"),
         schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
     )

@@ -19,11 +19,11 @@ from repro.core.scenario import (
     FailureInjectionSpec,
     ScenarioSpec,
     ScheduleSpec,
+    TopologySpec,
     TraceSpec,
 )
 from repro.simulation.metrics import CounterSeries, LatencyRecorder
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
 from repro.traffic.synthetic import SyntheticTraceSpec
 
 
@@ -32,7 +32,7 @@ def tiny_spec(name="tiny", *, systems=("openflow", "lazyctrl-dynamic"), **overri
     defaults = dict(
         name=name,
         topology=TopologyProfile(switch_count=8, host_count=60, seed=5),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=800, seed=5)),
+        traffic=TraceSpec.realistic(total_flows=800, seed=5),
         systems=systems,
         schedule=ScheduleSpec(duration_hours=4.0, bucket_hours=2.0),
         config=LazyCtrlConfig(grouping=GroupingConfig(group_size_limit=3, random_seed=5)),
@@ -58,9 +58,8 @@ class TestScenarioSpec:
 
     def test_synthetic_trace_round_trip(self):
         spec = tiny_spec(
-            traffic=TraceSpec(
-                kind="synthetic",
-                synthetic=SyntheticTraceSpec(
+            traffic=TraceSpec.synthetic(
+                SyntheticTraceSpec(
                     name="syn-a",
                     concentrated_flow_fraction=0.9,
                     concentrated_pair_fraction=0.1,
@@ -96,13 +95,21 @@ class TestScenarioSpec:
         with pytest.raises(ConfigurationError, match="duplicate"):
             tiny_spec(systems=("openflow", "openflow"))
 
-    def test_synthetic_kind_requires_profile(self):
-        with pytest.raises(ConfigurationError):
-            TraceSpec(kind="synthetic")
+    def test_unknown_model_fails_at_resolution(self):
+        spec = TraceSpec(model="no-such-model")
+        with pytest.raises(ConfigurationError, match="unknown traffic model"):
+            spec.entry()
 
-    def test_rejects_unknown_trace_kind(self):
-        with pytest.raises(ConfigurationError):
-            TraceSpec(kind="replay")
+    def test_unknown_param_names_offending_key(self):
+        spec = TraceSpec(model="realistic", params={"total_flowz": 100})
+        with pytest.raises(ConfigurationError, match="total_flowz"):
+            spec.resolved_params()
+
+    def test_topology_profile_still_accepted(self):
+        spec = tiny_spec()
+        assert isinstance(spec.topology, TopologySpec)
+        assert spec.topology.shape == "multi-tenant"
+        assert spec.topology.dimensions() == (8, 60)
 
     def test_schedule_validation(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,96 @@
+"""Tests for strict dataclass deserialization errors.
+
+``dataclass_from_dict`` must reject unknown and missing keys with a
+:class:`~repro.common.errors.ConfigurationError` that names the offending
+key and the dotted path of the dataclass it belongs to — not surface a bare
+``TypeError`` from a constructor several frames down.
+"""
+
+import dataclasses
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialize import dataclass_from_dict, from_jsonable
+from repro.core.scenario import ScenarioSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    value: int
+    scale: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    name: str
+    inner: Inner = Inner(value=0)
+    window: Optional[Tuple[float, float]] = None
+
+
+class TestUnknownKeys:
+    def test_unknown_key_names_key_and_dataclass(self):
+        with pytest.raises(ConfigurationError) as error:
+            dataclass_from_dict(Outer, {"name": "x", "nmae": "typo"})
+        message = str(error.value)
+        assert "'nmae'" in message
+        assert "Outer" in message
+        assert "valid keys" in message and "name" in message
+
+    def test_nested_unknown_key_reports_dotted_path(self):
+        with pytest.raises(ConfigurationError) as error:
+            dataclass_from_dict(Outer, {"name": "x", "inner": {"value": 1, "scal": 2.0}})
+        message = str(error.value)
+        assert "'scal'" in message
+        assert "Outer.inner" in message
+        assert "Inner" in message
+
+    def test_multiple_unknown_keys_all_reported(self):
+        with pytest.raises(ConfigurationError) as error:
+            dataclass_from_dict(Outer, {"name": "x", "a": 1, "b": 2})
+        assert "'a'" in str(error.value) and "'b'" in str(error.value)
+
+    def test_scenario_spec_typo_reports_spec_path(self):
+        data = ScenarioSpec(name="t", systems=("openflow",)).to_dict()
+        data["schedule"]["duration_hourz"] = 4.0
+        with pytest.raises(ConfigurationError) as error:
+            ScenarioSpec.from_dict(data)
+        message = str(error.value)
+        assert "'duration_hourz'" in message
+        assert "spec.schedule" in message
+
+
+class TestMissingKeys:
+    def test_missing_required_key_names_key(self):
+        with pytest.raises(ConfigurationError) as error:
+            dataclass_from_dict(Outer, {"inner": {"value": 1}})
+        message = str(error.value)
+        assert "'name'" in message
+        assert "missing required key" in message
+        assert "Outer" in message
+
+    def test_nested_missing_required_key(self):
+        with pytest.raises(ConfigurationError) as error:
+            dataclass_from_dict(Outer, {"name": "x", "inner": {"scale": 2.0}})
+        message = str(error.value)
+        assert "'value'" in message
+        assert "Outer.inner" in message
+
+    def test_keys_with_defaults_may_be_omitted(self):
+        rebuilt = dataclass_from_dict(Outer, {"name": "x"})
+        assert rebuilt == Outer(name="x")
+
+
+class TestShapeErrors:
+    def test_non_mapping_payload_for_dataclass(self):
+        with pytest.raises(ConfigurationError, match="expected a JSON object"):
+            dataclass_from_dict(Outer, ["not", "a", "dict"])
+
+    def test_path_defaults_to_class_name(self):
+        with pytest.raises(ConfigurationError, match="Outer"):
+            dataclass_from_dict(Outer, {"name": "x", "oops": 1})
+
+    def test_explicit_path_is_used(self):
+        with pytest.raises(ConfigurationError, match="my.custom.path"):
+            from_jsonable(Outer, {"name": "x", "oops": 1}, path="my.custom.path")

@@ -21,20 +21,18 @@ from repro.core.results import RunResult
 from repro.core.runner import ScenarioResult, ScenarioRunner
 from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec, TraceSpec
 from repro.topology.builder import TopologyProfile
-from repro.traffic.realistic import RealisticTraceProfile
 
 
 def full_spec() -> ScenarioSpec:
     """A spec with every Optional block populated, interleaved with None fields.
 
-    ``traffic.synthetic`` stays ``None`` between the populated ``realistic``
-    profile and the populated ``failures``/``churn`` blocks — the field
-    layout the regression report describes.
+    ``failures``/``churn`` interleave with defaulted fields — the layout
+    the regression report describes.
     """
     return ScenarioSpec(
         name="optional-roundtrip",
         topology=TopologyProfile(switch_count=8, host_count=60, seed=3),
-        traffic=TraceSpec(realistic=RealisticTraceProfile(total_flows=400, seed=3)),
+        traffic=TraceSpec.realistic(total_flows=400, seed=3),
         systems=("openflow", "lazyctrl-dynamic"),
         schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
         failures=FailureInjectionSpec(at_hours=(0.5, 1.5), switches_per_event=2),
@@ -46,7 +44,6 @@ class TestSpecRoundTrip:
     def test_failures_block_survives_interleaved_none_fields(self):
         spec = full_spec()
         data = json.loads(json.dumps(spec.to_dict()))
-        assert data["traffic"]["synthetic"] is None
         assert data["failures"] == {"at_hours": [0.5, 1.5], "switches_per_event": 2}
         rebuilt = ScenarioSpec.from_dict(data)
         assert rebuilt == spec
