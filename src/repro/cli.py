@@ -17,7 +17,8 @@ Seven subcommands cover the everyday workflow::
 JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
 spec fields can be overridden from the command line (``--flows``,
 ``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``,
-``--traffic``, ``--topology``, ``--churn-rate``, ``--churn-seed``) and
+``--traffic``, ``--topology``, ``--churn-rate``, ``--churn-seed``,
+``--stream`` for the bounded-memory chunked replay path) and
 multi-scenario presets fan out over ``--workers`` processes.  ``--traffic``
 and ``--topology`` swap in any registered traffic model or topology shape by
 name, carrying the old spec's dimensions over where the new shape supports
@@ -48,12 +49,18 @@ from repro.core.registry import available_control_planes
 from repro.core.runner import ScenarioResult, ScenarioRunner
 from repro.core.scenario import ScenarioSpec, TopologySpec, TraceSpec
 from repro.perf.baseline import check_against_baselines
+from repro.perf.recorder import peak_rss_bytes
 from repro.perf.report import format_stage_breakdown
 from repro.topology.registry import available_topologies
 from repro.traffic.registry import available_traffic_models
 
 #: Presets the ``bench`` subcommand replays by default.
 BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
+
+#: Scale-smoke presets benchmarked by their own (non-gating) CI job rather
+#: than the default list: they take minutes, so a full default run must not
+#: flag their committed baselines as stale.
+SMOKE_BENCH_PRESETS = ("paper-fig7-10m",)
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -152,6 +159,10 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
     if args.systems is not None:
         systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
 
+    stream = spec.stream
+    if getattr(args, "stream", None) is not None:
+        stream = args.stream
+
     churn = spec.churn
     if getattr(args, "churn_rate", None) is not None:
         if args.churn_rate == 0:
@@ -178,6 +189,7 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         systems=systems,
         config=config,
         churn=churn,
+        stream=stream,
     )
 
 
@@ -273,7 +285,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_payload(preset_name: str, result: ScenarioResult, runtime_seconds: float) -> dict:
+def _bench_payload(
+    preset_name: str,
+    result: ScenarioResult,
+    runtime_seconds: float,
+    *,
+    peak_rss: int = 0,
+) -> dict:
     """The machine-readable benchmark record for one scenario run."""
     systems = {}
     total_flows_replayed = 0
@@ -302,6 +320,11 @@ def _bench_payload(preset_name: str, result: ScenarioResult, runtime_seconds: fl
         "flows": result.spec.traffic.total_flows,
         "switches": switches,
         "hosts": hosts,
+        "streaming": result.spec.stream,
+        # Process-lifetime high-water mark sampled after the run: an upper
+        # bound on the run's footprint (earlier scenarios in the same bench
+        # invocation contribute too).  Non-gating in --check.
+        "peak_rss_bytes": peak_rss,
         "systems": systems,
     }
 
@@ -324,13 +347,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 result = runner.run(spec)
                 elapsed = time.perf_counter() - started
                 runtime = elapsed if runtime is None else min(runtime, elapsed)
-            payload = _bench_payload(preset_name, result, runtime)
+            payload = _bench_payload(
+                preset_name, result, runtime, peak_rss=peak_rss_bytes()
+            )
             payloads.append(payload)
             path = out_dir / f"BENCH_{spec.name}.json"
             path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
             print(
                 f"wrote {path} (runtime {runtime:.1f}s, "
-                f"{payload['flows_per_second']:,.0f} flows/sec)"
+                f"{payload['flows_per_second']:,.0f} flows/sec, "
+                f"peak RSS {payload['peak_rss_bytes'] / 1e6:,.0f} MB)"
             )
     if args.check:
         # A full run (the default preset list) must cover every committed
@@ -341,11 +367,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _smoke_scenario_names() -> set:
+    """Scenario names produced by the scale-smoke presets."""
+    return {
+        spec.name
+        for preset_name in SMOKE_BENCH_PRESETS
+        for spec in get_preset(preset_name).specs()
+    }
+
+
 def _check_baselines(payloads: List[dict], args: argparse.Namespace, *, stale_fails: bool) -> int:
     """Compare fresh bench payloads against committed baselines; 1 on drift."""
     checks, problems, stale = check_against_baselines(
         payloads, args.baseline_dir, tolerance=args.tolerance
     )
+    # Scale-smoke baselines are produced by their own CI job, never by the
+    # default preset list — a default full run must not treat them as stale.
+    smoke_files = {f"BENCH_{name}.json" for name in _smoke_scenario_names()}
+    stale = [path for path in stale if Path(path).name not in smoke_files]
     failed = False
     for path in stale:
         if stale_fails:
@@ -446,6 +485,13 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="override topology/traffic seed")
     parser.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
     parser.add_argument("--systems", default=None, help="comma-separated control-plane names")
+    parser.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="generate and replay the trace chunk-by-chunk in bounded memory "
+        "(--no-stream forces the materialized path on streaming presets)",
+    )
     parser.add_argument(
         "--traffic",
         default=None,

@@ -7,6 +7,9 @@ under a memorable name:
   LazyCtrl variants) at laptop scale;
 * ``paper-fig7-expanded`` — the same replay on the §V-D expanded trace
   (+30 % flows among previously silent pairs);
+* ``paper-fig7-10m`` — the same workload at 10 million flows with
+  ``stream=True``: generated and replayed chunk by chunk in bounded memory
+  (the scaling smoke behind ``BENCH_paper-fig7-10m.json``);
 * ``failover`` — a failover storm: designated-switch failures injected at
   two points of the day while the trace replays;
 * ``scale-sweep`` — the same workload density at three topology scales, a
@@ -81,6 +84,27 @@ def _paper_fig7() -> Tuple[ScenarioSpec, ...]:
             traffic=TraceSpec.realistic(total_flows=20_000, seed=2015),
             systems=("openflow", "lazyctrl-static", "lazyctrl-dynamic"),
             config=default_grouping_config(48),
+        ),
+    )
+
+
+def _paper_fig7_10m() -> Tuple[ScenarioSpec, ...]:
+    """The Fig. 7 workload at paper-and-beyond scale: 10M flows, streamed.
+
+    Runs the single most interesting control plane (dynamic LazyCtrl) so the
+    smoke finishes in minutes; add systems back via ``--systems`` when
+    comparing.  ``stream=True`` is the point: the trace is generated and
+    replayed chunk by chunk, so peak memory is bounded by the chunk size
+    instead of the 10M-record trace.
+    """
+    spec = _paper_fig7()[0]
+    return (
+        dataclasses.replace(
+            spec,
+            name="paper-fig7-10m",
+            traffic=TraceSpec.realistic(total_flows=10_000_000, seed=2015),
+            systems=("lazyctrl-dynamic",),
+            stream=True,
         ),
     )
 
@@ -251,6 +275,11 @@ _PRESETS: Dict[str, Preset] = {
             name="paper-fig7-expanded",
             description="Same replay on the expanded trace (+30% flows among silent pairs, paper §V-D)",
             build=_paper_fig7_expanded,
+        ),
+        Preset(
+            name="paper-fig7-10m",
+            description="Fig. 7 workload at 10M flows, streamed chunk-by-chunk in bounded memory",
+            build=_paper_fig7_10m,
         ),
         Preset(
             name="failover",

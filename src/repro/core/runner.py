@@ -34,10 +34,11 @@ from repro.core.results import (
     WorkloadSeriesResult,
 )
 from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec
-from repro.perf.recorder import NULL_RECORDER, PerfRecorder
+from repro.perf.recorder import NULL_RECORDER, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot
 from repro.simulation.engine import SimulationEngine
 from repro.traffic.replay import TraceReplayer
+from repro.traffic.stream import FlowStream
 from repro.traffic.trace import Trace
 
 
@@ -131,13 +132,25 @@ class ScenarioRunner:
         With ``collect_perf=True`` every run is instrumented with a
         :class:`~repro.perf.recorder.PerfRecorder` and carries a
         :class:`~repro.perf.report.PerfSnapshot` on ``RunResult.perf``.
+
+        With ``spec.stream`` set the trace is never materialized: every
+        system drains a freshly instantiated chunk stream over its own
+        topology copy, bounding replay memory by the chunk size at the cost
+        of regenerating the flows per system (generation is deterministic,
+        so all systems still see the identical workload).
         """
         # Resolve every name up front so a typo fails before minutes of replay.
         entries = [get_control_plane(name) for name in spec.systems]
-        base_trace = spec.build_trace(spec.build_network())
+        base_trace = None if spec.stream else spec.build_trace(spec.build_network())
         runs: Dict[str, RunResult] = {}
         for entry in entries:
-            if spec.churn_active:
+            system_trace: Trace | FlowStream
+            if spec.stream:
+                # A stream is consumed by its replay, and churn additionally
+                # mutates the topology, so every system gets a fresh network
+                # and a fresh (lazily regenerated) stream over it.
+                system_trace = spec.build_stream(spec.build_network())
+            elif spec.churn_active:
                 # Churn mutates the topology during a replay, so each system
                 # starts from its own pristine network.  The deterministic
                 # builder yields an identical copy, and the already-generated
@@ -192,7 +205,7 @@ class ScenarioRunner:
     def replay_system(
         self,
         system: str,
-        trace: Trace,
+        trace: Trace | FlowStream,
         *,
         schedule: ScheduleSpec | None = None,
         config: LazyCtrlConfig | None = None,
@@ -201,7 +214,12 @@ class ScenarioRunner:
         churn: Optional[ChurnSpec] = None,
         perf: Optional[PerfRecorder] = None,
     ) -> RunResult:
-        """Drive one registered control plane over an already-built trace.
+        """Drive one registered control plane over a trace or chunk stream.
+
+        ``trace`` may be a materialized :class:`~repro.traffic.trace.Trace`
+        or any :class:`~repro.traffic.stream.FlowStream`; both expose the
+        windowed ``switch_intensity`` the control plane's warm-up needs and
+        both are drained through the replayer's chunked path.
 
         ``perf`` instruments the replay: stage timings and counters are
         collected into the recorder and the resulting
@@ -269,6 +287,8 @@ class ScenarioRunner:
                 plane.fold_perf_counters()
             perf.count("replay.flows_replayed", progress.flows_replayed)
             perf.count("replay.periodic_invocations", progress.periodic_invocations)
+            perf.count("replay.chunks_drained", progress.chunks_drained)
+            perf.gauge("replay.peak_rss_bytes", peak_rss_bytes())
             perf_snapshot = perf.snapshot(
                 wall_seconds=wall_seconds, flows_replayed=progress.flows_replayed
             )

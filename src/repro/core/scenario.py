@@ -44,6 +44,7 @@ from repro.traffic.expand import expand_trace
 from repro.traffic.mix import TrafficMixSpec
 from repro.traffic.realistic import RealisticTraceProfile
 from repro.traffic.registry import TrafficModelEntry, get_traffic_model
+from repro.traffic.stream import FlowStream, MaterializedStream
 from repro.traffic.synthetic import SyntheticTraceSpec
 from repro.traffic.trace import Trace
 
@@ -253,6 +254,18 @@ class TraceSpec:
             )
         return trace
 
+    def build_stream(self, network: DataCenterNetwork, *, name: str = "scenario") -> FlowStream:
+        """Generate the trace as a lazy chunk stream over ``network``.
+
+        The §V-D expansion needs the full set of silent pairs and therefore a
+        materialized trace; a spec with ``expand_fraction > 0`` falls back to
+        building the trace and presenting it through the stream protocol
+        (correct, but without the O(chunk) memory bound).
+        """
+        if self.expand_fraction > 0.0:
+            return MaterializedStream.from_trace(self.build(network, name=name))
+        return self.entry().build_stream(network, self.params, name=name)
+
 
 @dataclass(frozen=True, slots=True)
 class FailureInjectionSpec:
@@ -301,7 +314,14 @@ def _modernize_traffic(data: Any) -> Any:
 
 @dataclass(frozen=True, slots=True)
 class ScenarioSpec:
-    """A fully declarative description of one experiment."""
+    """A fully declarative description of one experiment.
+
+    ``stream=True`` selects the bounded-memory replay path: the trace is
+    generated and drained chunk by chunk instead of being materialized,
+    trading one extra generation of the warm-up window (and one full
+    regeneration per additional control plane) for O(chunk) memory — the
+    mode that makes multi-million-flow scenarios fit on ordinary hardware.
+    """
 
     name: str
     topology: TopologySpec = field(
@@ -315,6 +335,7 @@ class ScenarioSpec:
     config: LazyCtrlConfig = field(default_factory=LazyCtrlConfig)
     failures: Optional[FailureInjectionSpec] = None
     churn: Optional[ChurnSpec] = None
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
@@ -350,6 +371,10 @@ class ScenarioSpec:
     def build_trace(self, network: DataCenterNetwork) -> Trace:
         """Generate the trace this spec describes over ``network``."""
         return self.traffic.build(network, name=self.name)
+
+    def build_stream(self, network: DataCenterNetwork) -> FlowStream:
+        """Generate the trace as a lazy chunk stream over ``network``."""
+        return self.traffic.build_stream(network, name=self.name)
 
     # -- serialization -------------------------------------------------------
 

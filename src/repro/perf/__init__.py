@@ -11,7 +11,7 @@ The package has three halves:
 """
 
 from repro.perf.baseline import BaselineCheck, check_against_baselines, compare_payloads
-from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder
+from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "check_against_baselines",
     "compare_payloads",
     "format_stage_breakdown",
+    "peak_rss_bytes",
 ]

@@ -14,7 +14,10 @@ compares a freshly produced payload against the committed one:
   generous tolerance band (±30 % by default).  Only *regressions* beyond the
   band fail the check; running faster than the band produces a note
   suggesting the baselines be refreshed, because punishing an improvement
-  would gate exactly the PRs this scheme exists to encourage.
+  would gate exactly the PRs this scheme exists to encourage;
+* **peak RSS** (``peak_rss_bytes``) is tracked but never gated — it is a
+  process-lifetime high-water mark that shifts with the allocator and the
+  Python build; a clear blow-up beyond the band only produces a note.
 """
 
 from __future__ import annotations
@@ -132,6 +135,18 @@ def compare_payloads(
                 f"{key}: {cur_value:.3f} beats baseline {base_value:.3f} by more than "
                 f"{tolerance:.0%} — consider regenerating benchmarks/baselines"
             )
+
+    # Peak RSS is tracked, never gated: it is a process-lifetime high-water
+    # mark whose absolute value shifts with the allocator, the Python build
+    # and whatever ran earlier in the process.  A clear blow-up still gets a
+    # note so a broken memory bound is visible in the check output.
+    base_rss = float(baseline.get("peak_rss_bytes", 0) or 0)
+    cur_rss = float(current.get("peak_rss_bytes", 0) or 0)
+    if base_rss > 0 and cur_rss > base_rss * (1.0 + tolerance):
+        check.notes.append(
+            f"peak_rss_bytes: {cur_rss:,.0f} vs baseline {base_rss:,.0f} "
+            f"(beyond +{tolerance:.0%}; non-gating — investigate if the scenario streams)"
+        )
     return check
 
 

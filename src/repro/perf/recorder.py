@@ -19,11 +19,29 @@ simulated ones.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.perf.report import PerfSnapshot, StageStats
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident-set size in bytes (0 when unavailable).
+
+    Reads ``ru_maxrss`` for the current process: the high-water mark of
+    physical memory since process start.  It only ever grows, so comparing
+    it before/after a replay bounds that replay's footprint from above —
+    which is exactly what the streaming pipeline's O(chunk) claim needs.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS reports bytes.
+    return usage if sys.platform == "darwin" else usage * 1024
 
 
 class _NullTimer:
@@ -54,6 +72,9 @@ class NullRecorder:
 
     def count(self, name: str, amount: int = 1) -> None:
         """Discard a counter increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard a gauge observation."""
 
     def timeit(self, name: str) -> _NullTimer:
         """Return the shared no-op context manager."""
@@ -110,14 +131,15 @@ class _StageTimer:
 
 
 class PerfRecorder:
-    """Collects named counters and nested stage timings during one replay."""
+    """Collects named counters, gauges and nested stage timings during one replay."""
 
-    __slots__ = ("counters", "_stages", "_stack")
+    __slots__ = ("counters", "gauges", "_stages", "_stack")
 
     enabled = True
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
         self._stages: Dict[str, _StageAccumulator] = {}
         self._stack: List[str] = []
 
@@ -130,6 +152,16 @@ class PerfRecorder:
     def counter(self, name: str) -> int:
         """Current value of the named counter (0 when never incremented)."""
         return self.counters.get(name, 0)
+
+    # -- gauges -------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time measurement (last observation wins).
+
+        Gauges hold sampled values — peak RSS, a queue depth — as opposed to
+        counters, which accumulate.
+        """
+        self.gauges[name] = float(value)
 
     # -- timers -------------------------------------------------------------
 
@@ -178,4 +210,5 @@ class PerfRecorder:
             flows_per_second=(flows_replayed / wall_seconds) if wall_seconds > 0 else 0.0,
             counters=dict(sorted(self.counters.items())),
             stages=self.stage_stats(),
+            gauges=dict(sorted(self.gauges.items())),
         )

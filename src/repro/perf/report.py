@@ -38,6 +38,7 @@ class PerfSnapshot:
     flows_per_second: float
     counters: Dict[str, int] = field(default_factory=dict)
     stages: Tuple[StageStats, ...] = ()
+    gauges: Dict[str, float] = field(default_factory=dict)
 
     def stage(self, name: str) -> StageStats:
         """Look a stage up by name (raises ``KeyError`` when absent)."""
@@ -86,4 +87,7 @@ def format_stage_breakdown(snapshot: PerfSnapshot, *, label: str = "") -> str:
     if counter_lines:
         parts.append("counters:")
         parts.extend(counter_lines)
+    if snapshot.gauges:
+        parts.append("gauges:")
+        parts.extend(f"  {name} = {value:,.0f}" for name, value in snapshot.gauges.items())
     return "\n".join(parts)

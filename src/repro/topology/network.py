@@ -196,6 +196,34 @@ class DataCenterNetwork:
 
     # -- derived views --------------------------------------------------------
 
+    def structurally_equal(self, other: "DataCenterNetwork") -> bool:
+        """Whether two networks describe the same topology, placement and tenancy.
+
+        Deterministic builders produce structurally-equal (but distinct)
+        objects from the same spec; this is the identity used to decide
+        whether two traces live in "the same" data center.  MAC and underlay
+        addresses are pure functions of the switch/host identifiers, so
+        comparing identifiers, port assignments and tenant membership covers
+        the full observable structure.
+        """
+        if self is other:
+            return True
+        if [(info.switch_id, info.port_count) for info in self.switches()] != [
+            (info.switch_id, info.port_count) for info in other.switches()
+        ]:
+            return False
+        if {
+            host.host_id: (host.tenant_id, host.switch_id, host.port) for host in self.hosts()
+        } != {
+            host.host_id: (host.tenant_id, host.switch_id, host.port) for host in other.hosts()
+        }:
+            return False
+        return {
+            tenant.tenant_id: tuple(sorted(tenant.host_ids)) for tenant in self.tenants.tenants()
+        } == {
+            tenant.tenant_id: tuple(sorted(tenant.host_ids)) for tenant in other.tenants.tenants()
+        }
+
     def switch_pair_of_hosts(self, src_host_id: int, dst_host_id: int) -> tuple[int, int]:
         """The (source switch, destination switch) pair for a host pair."""
         return self.host(src_host_id).switch_id, self.host(dst_host_id).switch_id

@@ -1,8 +1,13 @@
-"""Traffic traces: flow records, generators, mixes, the model registry and replay."""
+"""Traffic traces: flow records, generators, streams, mixes, the registry and replay."""
 
 from repro.traffic.expand import expand_trace
 from repro.traffic.flow import FlowRecord
-from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec, generate_mix_trace
+from repro.traffic.mix import (
+    TrafficComponentSpec,
+    TrafficMixSpec,
+    generate_mix_trace,
+    stream_mix_trace,
+)
 from repro.traffic.models import (
     AllToAllShuffleParams,
     ElephantMiceParams,
@@ -12,6 +17,10 @@ from repro.traffic.models import (
     generate_elephant_mice,
     generate_incast_hotspot,
     generate_uniform_background,
+    stream_all_to_all_shuffle,
+    stream_elephant_mice,
+    stream_incast_hotspot,
+    stream_uniform_background,
 )
 from repro.traffic.realistic import DIURNAL_PROFILE, RealisticTraceGenerator, RealisticTraceProfile
 from repro.traffic.registry import (
@@ -22,6 +31,18 @@ from repro.traffic.registry import (
     unregister_traffic_model,
 )
 from repro.traffic.replay import FlowSink, ReplayProgress, TraceReplayer
+from repro.traffic.stream import (
+    CHUNK_TARGET_FLOWS,
+    ChunkWindow,
+    FlowStream,
+    GeneratedStream,
+    MaterializedStream,
+    MergedStream,
+    TraceStatistics,
+    accumulate_intensity,
+    subdivide_span,
+    windowed_chunks,
+)
 from repro.traffic.synthetic import (
     PAPER_SYNTHETIC_SPECS,
     SyntheticTraceGenerator,
@@ -32,11 +53,17 @@ from repro.traffic.trace import PairActivity, Trace
 
 __all__ = [
     "AllToAllShuffleParams",
+    "CHUNK_TARGET_FLOWS",
+    "ChunkWindow",
     "DIURNAL_PROFILE",
     "ElephantMiceParams",
     "FlowRecord",
     "FlowSink",
+    "FlowStream",
+    "GeneratedStream",
     "IncastHotspotParams",
+    "MaterializedStream",
+    "MergedStream",
     "PAPER_SYNTHETIC_SPECS",
     "PairActivity",
     "RealisticTraceGenerator",
@@ -46,10 +73,12 @@ __all__ = [
     "SyntheticTraceSpec",
     "Trace",
     "TraceReplayer",
+    "TraceStatistics",
     "TrafficComponentSpec",
     "TrafficMixSpec",
     "TrafficModelEntry",
     "UniformBackgroundParams",
+    "accumulate_intensity",
     "available_traffic_models",
     "expand_trace",
     "generate_all_to_all_shuffle",
@@ -60,5 +89,12 @@ __all__ = [
     "get_traffic_model",
     "paper_synthetic_specs",
     "register_traffic_model",
+    "stream_all_to_all_shuffle",
+    "stream_elephant_mice",
+    "stream_incast_hotspot",
+    "stream_mix_trace",
+    "stream_uniform_background",
+    "subdivide_span",
     "unregister_traffic_model",
+    "windowed_chunks",
 ]

@@ -19,20 +19,27 @@ Two properties the tests pin down:
 The mix is itself registered as the ``"mix"`` traffic model, so it nests
 anywhere a model name is accepted — scenario specs, presets, even another
 mix.
+
+Composition is natively streamed: :func:`stream_mix_trace` builds each
+component's stream and performs a k-way merge over them
+(:class:`~repro.traffic.stream.MergedStream`), holding each component's
+current chunk plus one output chunk — O(components × chunk), independent of
+trace length — instead of concatenating materialized lists.
+:func:`generate_mix_trace` is the materialized wrapper.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, TrafficError
+from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_seed
 from repro.common.serialize import to_jsonable
 from repro.topology.network import DataCenterNetwork
-from repro.traffic.flow import FlowRecord
+from repro.traffic.stream import FlowStream, MergedStream
 from repro.traffic.trace import Trace
 
 
@@ -118,6 +125,10 @@ def _component_flow_counts(mix: TrafficMixSpec) -> List[int]:
     flows to the components with the largest fractional parts.  Both the
     shares (fsum-normalized) and the tie-break (component fingerprints) are
     independent of list order, preserving the permutation invariant.
+
+    ``repro.traffic.stream.allocate_counts`` is the same algorithm under the
+    chunk grid's determinism contract (plain sum, positional tie-break);
+    see its docstring before changing either.
     """
     weight_sum = math.fsum(component.weight for component in mix.components)
     shares = [
@@ -134,14 +145,21 @@ def _component_flow_counts(mix: TrafficMixSpec) -> List[int]:
     return counts
 
 
-def generate_mix_trace(
+def stream_mix_trace(
     network: DataCenterNetwork, mix: TrafficMixSpec, *, name: str = "mix"
-) -> Trace:
-    """Materialize every component and merge them into one deterministic trace."""
+) -> MergedStream:
+    """Compose every component stream into one k-way-merged deterministic stream.
+
+    Flow ids are minted in canonical ``(time, endpoints, payload)`` merge
+    order, and component seeds derive from content fingerprints — so the
+    merged stream, like the materialized trace it replaces, is independent
+    of component list order.  Flows a component emits past its window are
+    clipped by the merge rather than leaking outside its slot.
+    """
     from repro.traffic.registry import get_traffic_model
 
     flow_counts = _component_flow_counts(mix)
-    merged: List[FlowRecord] = []
+    parts: List[Tuple[FlowStream, float, float]] = []
     for component, flow_count in zip(mix.components, flow_counts):
         entry = get_traffic_model(component.model)
         if flow_count <= 0:
@@ -158,31 +176,20 @@ def generate_mix_trace(
         params.update(
             {key: value for key, value in overrides.items() if key in supported}
         )
-        trace = entry.build(network, params, name=f"{name}:{component.model}")
-        offset = window[0] * 3600.0
-        span_seconds = window_span_hours * 3600.0
-        for flow in trace.flows:
-            # Models that ignore duration_hours could emit past the window;
-            # clip rather than leak flows outside the component's slot.
-            if flow.start_time >= span_seconds:
-                continue
-            merged.append(
-                replace(flow, start_time=flow.start_time + offset) if offset else flow
-            )
-    if not merged:
-        raise TrafficError("the traffic mix produced no flows")
-
-    # Renumber flow ids in a canonical order so composition order never leaks
-    # into the merged trace.
-    merged.sort(
-        key=lambda flow: (
-            flow.start_time,
-            flow.src_host_id,
-            flow.dst_host_id,
-            flow.packet_count,
-            flow.byte_count,
-            flow.duration,
-        )
+        stream = entry.build_stream(network, params, name=f"{name}:{component.model}")
+        parts.append((stream, window[0] * 3600.0, window_span_hours * 3600.0))
+    return MergedStream(
+        name, network, parts, duration=mix.duration_hours * 3600.0
     )
-    flows = [replace(flow, flow_id=index) for index, flow in enumerate(merged)]
-    return Trace(name, network, flows)
+
+
+def generate_mix_trace(
+    network: DataCenterNetwork, mix: TrafficMixSpec, *, name: str = "mix"
+) -> Trace:
+    """Materialize the merged component streams into one deterministic trace.
+
+    Raises :class:`~repro.common.errors.TrafficError` when the mix produces
+    no flows (the merged stream itself enforces this, so the streamed path
+    agrees).
+    """
+    return Trace.from_stream(stream_mix_trace(network, mix, name=name))

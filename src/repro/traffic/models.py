@@ -16,20 +16,35 @@ shapes the paper's evaluation gestures at but never isolates:
 * **uniform background** — uniformly random pairs at uniformly random
   times, the locality-free floor every other model is compared against.
 
-All generators derive their RNG stream from the params seed only (not the
-trace name), so a model's output is a pure function of its params over a
-given topology.
+Every model generates natively as a chunked
+:class:`~repro.traffic.stream.FlowStream` (``stream_*`` functions): cheap
+setup state (elephant pairs, hotspots, shuffle participants) is drawn once
+from a dedicated setup RNG stream, and each chunk's flows come from their
+own per-chunk RNG, so any chunk can be produced in O(chunk) memory without
+generating its predecessors.  The ``generate_*`` functions are the
+materialized wrappers (``Trace.from_stream``), so the streamed and
+materialized paths are bit-identical by construction.  All RNG streams
+derive from the params seed only (not the trace name), so a model's output
+is a pure function of its params over a given topology.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, TrafficError
 from repro.common.rng import make_rng, sample_zipf_index
 from repro.topology.network import DataCenterNetwork
-from repro.traffic.flow import FlowRecord
+from repro.traffic.stream import (
+    ChunkWindow,
+    FlowDraw,
+    GeneratedStream,
+    allocate_counts,
+    plan_windows,
+    subdivide_span,
+    uniform_spans,
+)
 from repro.traffic.trace import Trace
 
 
@@ -83,12 +98,12 @@ class ElephantMiceParams:
             raise ConfigurationError("elephant_packet_mean must be positive")
 
 
-def generate_elephant_mice(
+def stream_elephant_mice(
     network: DataCenterNetwork, params: ElephantMiceParams, *, name: str = "elephant-mice"
-) -> Trace:
-    """Few heavy pairs (elephants) over many light random flows (mice)."""
+) -> GeneratedStream:
+    """Few heavy pairs (elephants) over many light random flows (mice), streamed."""
     host_count = _require_hosts(network)
-    rng = make_rng(params.seed, "elephant-mice")
+    rng = make_rng(params.seed, "elephant-mice", "setup")
 
     tenants = [tenant for tenant in network.tenants.tenants() if tenant.size >= 2]
     elephants: List[Tuple[int, int]] = []
@@ -109,31 +124,43 @@ def generate_elephant_mice(
         raise TrafficError("no elephant pairs could be selected")
 
     seconds = params.duration_hours * 3600.0
-    flows: List[FlowRecord] = []
-    for flow_id in range(params.total_flows):
-        timestamp = rng.random() * seconds
-        if rng.random() < params.elephant_flow_fraction:
-            src, dst = elephants[rng.randrange(len(elephants))]
-            if rng.random() < 0.5:
-                src, dst = dst, src
-            packet_count = max(1, int(rng.expovariate(1.0 / params.elephant_packet_mean)) + 1)
-            byte_count = packet_count * 1400
-            duration = min(600.0, packet_count * 0.05)
-        else:
-            src, dst = _random_pair(rng, host_count)
-            packet_count, byte_count, duration = _mice_payload(rng)
-        flows.append(
-            FlowRecord(
-                start_time=timestamp,
-                flow_id=flow_id,
-                src_host_id=src,
-                dst_host_id=dst,
-                packet_count=packet_count,
-                byte_count=byte_count,
-                duration=duration,
-            )
-        )
-    return Trace(name, network, flows)
+    elephant_fraction = params.elephant_flow_fraction
+    packet_mean = params.elephant_packet_mean
+
+    def emit(rng, window: ChunkWindow) -> List[FlowDraw]:
+        draws: List[FlowDraw] = []
+        start, span = window.start, window.span
+        for _ in range(window.counts[0]):
+            timestamp = start + rng.random() * span
+            if rng.random() < elephant_fraction:
+                src, dst = elephants[rng.randrange(len(elephants))]
+                if rng.random() < 0.5:
+                    src, dst = dst, src
+                packet_count = max(1, int(rng.expovariate(1.0 / packet_mean)) + 1)
+                byte_count = packet_count * 1400
+                duration = min(600.0, packet_count * 0.05)
+            else:
+                src, dst = _random_pair(rng, host_count)
+                packet_count, byte_count, duration = _mice_payload(rng)
+            draws.append((timestamp, src, dst, packet_count, byte_count, duration))
+        return draws
+
+    return GeneratedStream(
+        name,
+        network,
+        plan_windows(uniform_spans(seconds), params.total_flows),
+        emit,
+        seed=params.seed,
+        rng_label="elephant-mice",
+        duration=seconds,
+    )
+
+
+def generate_elephant_mice(
+    network: DataCenterNetwork, params: ElephantMiceParams, *, name: str = "elephant-mice"
+) -> Trace:
+    """Materialized elephant/mice trace (the streamed flows, collected)."""
+    return Trace.from_stream(stream_elephant_mice(network, params, name=name))
 
 
 # -- incast hotspot -----------------------------------------------------------
@@ -171,12 +198,19 @@ class IncastHotspotParams:
             object.__setattr__(self, "burst_window_hours", (float(start), float(end)))
 
 
-def generate_incast_hotspot(
+def stream_incast_hotspot(
     network: DataCenterNetwork, params: IncastHotspotParams, *, name: str = "incast-hotspot"
-) -> Trace:
-    """Fan-in traffic onto a few hot destination hosts."""
+) -> GeneratedStream:
+    """Fan-in traffic onto a few hot destination hosts, streamed.
+
+    The hotspot and background populations have different time supports
+    (the burst window vs the whole day), so each chunk window carries one
+    planned count per population: hotspot flows are spread across windows in
+    proportion to their overlap with the burst, background flows in
+    proportion to plain window length.
+    """
     host_count = _require_hosts(network)
-    rng = make_rng(params.seed, "incast-hotspot")
+    rng = make_rng(params.seed, "incast-hotspot", "setup")
 
     hotspot_count = min(params.hotspot_count, host_count - 1)
     hotspots = rng.sample(range(host_count), hotspot_count)
@@ -184,34 +218,72 @@ def generate_incast_hotspot(
     seconds = params.duration_hours * 3600.0
     if params.burst_window_hours is not None:
         burst_start = params.burst_window_hours[0] * 3600.0
-        burst_span = (params.burst_window_hours[1] - params.burst_window_hours[0]) * 3600.0
+        burst_end = params.burst_window_hours[1] * 3600.0
     else:
-        burst_start, burst_span = 0.0, seconds
+        burst_start, burst_end = 0.0, seconds
 
-    flows: List[FlowRecord] = []
-    for flow_id in range(params.total_flows):
-        if rng.random() < params.hotspot_flow_fraction:
-            dst = hotspots[sample_zipf_index(rng, len(hotspots), params.hotspot_zipf_exponent)]
+    hot_total = round(params.total_flows * params.hotspot_flow_fraction)
+    background_total = params.total_flows - hot_total
+
+    # Chunk the timeline region by region (before / inside / after the
+    # burst), sizing each region's subdivision by the flows it actually
+    # holds: a narrow burst concentrates every hot flow into a sliver of
+    # the day, and a uniform grid over the whole duration would pack that
+    # sliver into chunks far beyond the target size.
+    region_edges = sorted({0.0, burst_start, burst_end, seconds})
+    bounds: List[Tuple[float, float]] = []
+    for region_start, region_end in zip(region_edges, region_edges[1:]):
+        expected = background_total * (region_end - region_start) / seconds
+        if burst_start <= region_start and region_end <= burst_end:
+            expected += hot_total
+        bounds.extend(subdivide_span(region_start, region_end, round(expected)))
+    hot_weights = [max(0.0, min(end, burst_end) - max(start, burst_start)) for start, end in bounds]
+    hot_counts = allocate_counts(hot_total, hot_weights)
+    background_counts = allocate_counts(background_total, [end - start for start, end in bounds])
+    windows = [
+        ChunkWindow(index=part, start=start, end=end, counts=(hot_counts[part], background_counts[part]))
+        for part, (start, end) in enumerate(bounds)
+    ]
+
+    zipf_exponent = params.hotspot_zipf_exponent
+
+    def emit(rng, window: ChunkWindow) -> List[FlowDraw]:
+        draws: List[FlowDraw] = []
+        hot_count, background_count = window.counts
+        overlap_start = max(window.start, burst_start)
+        overlap_span = min(window.end, burst_end) - overlap_start
+        for _ in range(hot_count):
+            dst = hotspots[sample_zipf_index(rng, len(hotspots), zipf_exponent)]
             src = rng.randrange(host_count)
             while src == dst:
                 src = rng.randrange(host_count)
-            timestamp = burst_start + rng.random() * burst_span
-        else:
+            timestamp = overlap_start + rng.random() * overlap_span
+            packet_count, byte_count, duration = _mice_payload(rng)
+            draws.append((timestamp, src, dst, packet_count, byte_count, duration))
+        start, span = window.start, window.span
+        for _ in range(background_count):
             src, dst = _random_pair(rng, host_count)
-            timestamp = rng.random() * seconds
-        packet_count, byte_count, duration = _mice_payload(rng)
-        flows.append(
-            FlowRecord(
-                start_time=timestamp,
-                flow_id=flow_id,
-                src_host_id=src,
-                dst_host_id=dst,
-                packet_count=packet_count,
-                byte_count=byte_count,
-                duration=duration,
-            )
-        )
-    return Trace(name, network, flows)
+            timestamp = start + rng.random() * span
+            packet_count, byte_count, duration = _mice_payload(rng)
+            draws.append((timestamp, src, dst, packet_count, byte_count, duration))
+        return draws
+
+    return GeneratedStream(
+        name,
+        network,
+        windows,
+        emit,
+        seed=params.seed,
+        rng_label="incast-hotspot",
+        duration=seconds,
+    )
+
+
+def generate_incast_hotspot(
+    network: DataCenterNetwork, params: IncastHotspotParams, *, name: str = "incast-hotspot"
+) -> Trace:
+    """Materialized incast-hotspot trace (the streamed flows, collected)."""
+    return Trace.from_stream(stream_incast_hotspot(network, params, name=name))
 
 
 # -- all-to-all shuffle -------------------------------------------------------
@@ -244,12 +316,16 @@ class AllToAllShuffleParams:
             raise ConfigurationError("participant_fraction must be in (0, 1]")
 
 
-def generate_all_to_all_shuffle(
+def stream_all_to_all_shuffle(
     network: DataCenterNetwork, params: AllToAllShuffleParams, *, name: str = "all-to-all-shuffle"
-) -> Trace:
-    """Periodic shuffle waves: participants exchange flows pairwise."""
+) -> GeneratedStream:
+    """Periodic shuffle waves (participants exchange flows pairwise), streamed.
+
+    Each phase's participant set is drawn from its own setup RNG stream so a
+    phase's chunks can be generated independently; windows only cover phase
+    spans (the gaps between waves hold no flows by construction).
+    """
     host_count = _require_hosts(network)
-    rng = make_rng(params.seed, "all-to-all-shuffle")
 
     participant_count = max(2, int(round(host_count * params.participant_fraction)))
     phase_span = params.phase_duration_hours * 3600.0
@@ -260,31 +336,57 @@ def generate_all_to_all_shuffle(
     for index in range(params.total_flows % params.phase_count):
         per_phase[index] += 1
 
-    flows: List[FlowRecord] = []
-    flow_id = 0
+    participants_by_phase: List[Sequence[int]] = []
     for phase in range(params.phase_count):
-        participants = rng.sample(range(host_count), min(participant_count, host_count))
+        phase_rng = make_rng(params.seed, "all-to-all-shuffle", "phase", str(phase))
+        participants_by_phase.append(
+            phase_rng.sample(range(host_count), min(participant_count, host_count))
+        )
+
+    windows: List[ChunkWindow] = []
+    phase_of_window: List[int] = []
+    index = 0
+    for phase in range(params.phase_count):
         phase_start = phase * slot
-        for _ in range(per_phase[phase]):
+        bounds = subdivide_span(phase_start, phase_start + phase_span, per_phase[phase])
+        part_counts = allocate_counts(per_phase[phase], [1.0] * len(bounds))
+        for (part_start, part_end), part_count in zip(bounds, part_counts):
+            windows.append(
+                ChunkWindow(index=index, start=part_start, end=part_end, counts=(part_count,))
+            )
+            phase_of_window.append(phase)
+            index += 1
+
+    def emit(rng, window: ChunkWindow) -> List[FlowDraw]:
+        participants = participants_by_phase[phase_of_window[window.index]]
+        draws: List[FlowDraw] = []
+        start, span = window.start, window.span
+        for _ in range(window.counts[0]):
             src = participants[rng.randrange(len(participants))]
             dst = participants[rng.randrange(len(participants))]
             while dst == src:
                 dst = participants[rng.randrange(len(participants))]
-            timestamp = phase_start + rng.random() * phase_span
+            timestamp = start + rng.random() * span
             packet_count, byte_count, duration = _mice_payload(rng)
-            flows.append(
-                FlowRecord(
-                    start_time=timestamp,
-                    flow_id=flow_id,
-                    src_host_id=src,
-                    dst_host_id=dst,
-                    packet_count=packet_count,
-                    byte_count=byte_count,
-                    duration=duration,
-                )
-            )
-            flow_id += 1
-    return Trace(name, network, flows)
+            draws.append((timestamp, src, dst, packet_count, byte_count, duration))
+        return draws
+
+    return GeneratedStream(
+        name,
+        network,
+        windows,
+        emit,
+        seed=params.seed,
+        rng_label="all-to-all-shuffle",
+        duration=params.duration_hours * 3600.0,
+    )
+
+
+def generate_all_to_all_shuffle(
+    network: DataCenterNetwork, params: AllToAllShuffleParams, *, name: str = "all-to-all-shuffle"
+) -> Trace:
+    """Materialized shuffle trace (the streamed flows, collected)."""
+    return Trace.from_stream(stream_all_to_all_shuffle(network, params, name=name))
 
 
 # -- uniform background -------------------------------------------------------
@@ -305,26 +407,35 @@ class UniformBackgroundParams:
             raise ConfigurationError("duration_hours must be positive")
 
 
+def stream_uniform_background(
+    network: DataCenterNetwork, params: UniformBackgroundParams, *, name: str = "uniform"
+) -> GeneratedStream:
+    """Uniformly random pairs at uniformly random times, streamed."""
+    host_count = _require_hosts(network)
+    seconds = params.duration_hours * 3600.0
+
+    def emit(rng, window: ChunkWindow) -> List[FlowDraw]:
+        draws: List[FlowDraw] = []
+        start, span = window.start, window.span
+        for _ in range(window.counts[0]):
+            src, dst = _random_pair(rng, host_count)
+            packet_count, byte_count, duration = _mice_payload(rng)
+            draws.append((start + rng.random() * span, src, dst, packet_count, byte_count, duration))
+        return draws
+
+    return GeneratedStream(
+        name,
+        network,
+        plan_windows(uniform_spans(seconds), params.total_flows),
+        emit,
+        seed=params.seed,
+        rng_label="uniform-background",
+        duration=seconds,
+    )
+
+
 def generate_uniform_background(
     network: DataCenterNetwork, params: UniformBackgroundParams, *, name: str = "uniform"
 ) -> Trace:
-    """Uniformly random pairs at uniformly random times — the locality floor."""
-    host_count = _require_hosts(network)
-    rng = make_rng(params.seed, "uniform-background")
-    seconds = params.duration_hours * 3600.0
-    flows: List[FlowRecord] = []
-    for flow_id in range(params.total_flows):
-        src, dst = _random_pair(rng, host_count)
-        packet_count, byte_count, duration = _mice_payload(rng)
-        flows.append(
-            FlowRecord(
-                start_time=rng.random() * seconds,
-                flow_id=flow_id,
-                src_host_id=src,
-                dst_host_id=dst,
-                packet_count=packet_count,
-                byte_count=byte_count,
-                duration=duration,
-            )
-        )
-    return Trace(name, network, flows)
+    """Materialized uniform-background trace (the streamed flows, collected)."""
+    return Trace.from_stream(stream_uniform_background(network, params, name=name))

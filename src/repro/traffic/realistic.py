@@ -12,18 +12,24 @@ reproduces every published statistic the evaluation depends on:
 * traffic concentrated inside tenants (the source of the 0.85 average
   centrality), with a small configurable fraction of inter-tenant flows.
 
-The generator is deterministic given its seed.
+Generation is natively streamed: the active-pair skeleton is drawn once from
+a setup RNG stream (small — capped at a multiple of the host count), and the
+flows of each chunk come from a per-chunk RNG over a diurnally-weighted
+window grid, so a multi-million-flow day never materializes unless asked to
+(:meth:`RealisticTraceGenerator.generate` collects the stream into a
+:class:`~repro.traffic.trace.Trace`).  The generator is deterministic given
+its seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.common.errors import ConfigurationError, TrafficError
 from repro.common.rng import make_rng, sample_zipf_index
 from repro.topology.network import DataCenterNetwork
-from repro.traffic.flow import FlowRecord
+from repro.traffic.stream import ChunkWindow, FlowDraw, GeneratedStream, plan_windows
 from repro.traffic.trace import Trace
 
 #: Relative flow-arrival rate per hour of the day (diurnal enterprise shape).
@@ -61,6 +67,30 @@ class RealisticTraceProfile:
             raise ConfigurationError("zipf_exponent must be positive")
 
 
+def diurnal_spans(duration_hours: float) -> List[Tuple[float, float, float]]:
+    """The weighted hourly segments of a (possibly fractional) diurnal day.
+
+    A fractional final hour keeps its hour's diurnal weight scaled by the
+    fraction and its timestamps stay inside the fraction, so no flow lands
+    past ``duration_hours``.
+    """
+    full_hours = int(duration_hours)
+    final_fraction = duration_hours - full_hours
+    spans = [
+        (hour * 3600.0, (hour + 1) * 3600.0, DIURNAL_PROFILE[hour % 24])
+        for hour in range(full_hours)
+    ]
+    if final_fraction > 0.0:
+        spans.append(
+            (
+                full_hours * 3600.0,
+                duration_hours * 3600.0,
+                DIURNAL_PROFILE[full_hours % 24] * final_fraction,
+            )
+        )
+    return spans
+
+
 class RealisticTraceGenerator:
     """Builds a day-long trace with the paper's real-trace statistics."""
 
@@ -75,11 +105,11 @@ class RealisticTraceGenerator:
         """The generation parameters in force."""
         return self._profile
 
-    def generate(self, *, name: str = "real-like") -> Trace:
-        """Generate the trace."""
+    def stream(self, *, name: str = "real-like") -> GeneratedStream:
+        """The trace as a lazily generated chunk stream."""
         profile = self._profile
-        rng = make_rng(profile.seed, "realistic-trace", name)
-        active_pairs = self._select_active_pairs(rng)
+        setup_rng = make_rng(profile.seed, "realistic-trace", name, "setup")
+        active_pairs = self._select_active_pairs(setup_rng)
         if not active_pairs:
             raise TrafficError("no active host pairs could be selected")
 
@@ -89,29 +119,46 @@ class RealisticTraceGenerator:
         hot_pairs = active_pairs[:hot_count]
         cold_pairs = active_pairs[hot_count:] or active_pairs
 
-        timestamps = self._diurnal_timestamps(rng, profile.total_flows, profile.duration_hours)
-        flows: List[FlowRecord] = []
-        for flow_id, timestamp in enumerate(timestamps):
-            if rng.random() < profile.hot_pair_flow_share:
-                index = sample_zipf_index(rng, len(hot_pairs), profile.zipf_exponent)
-                src, dst = hot_pairs[index]
-            else:
-                src, dst = cold_pairs[rng.randrange(len(cold_pairs))]
-            if rng.random() < 0.5:
-                src, dst = dst, src
-            packet_count = max(1, int(rng.expovariate(1.0 / 12.0)) + 1)
-            flows.append(
-                FlowRecord(
-                    start_time=timestamp,
-                    flow_id=flow_id,
-                    src_host_id=src,
-                    dst_host_id=dst,
-                    packet_count=packet_count,
-                    byte_count=packet_count * 1400,
-                    duration=min(60.0, packet_count * 0.05),
+        hot_share = profile.hot_pair_flow_share
+        zipf_exponent = profile.zipf_exponent
+
+        def emit(rng, window: ChunkWindow) -> List[FlowDraw]:
+            draws: List[FlowDraw] = []
+            start, span = window.start, window.span
+            for _ in range(window.counts[0]):
+                if rng.random() < hot_share:
+                    index = sample_zipf_index(rng, len(hot_pairs), zipf_exponent)
+                    src, dst = hot_pairs[index]
+                else:
+                    src, dst = cold_pairs[rng.randrange(len(cold_pairs))]
+                if rng.random() < 0.5:
+                    src, dst = dst, src
+                packet_count = max(1, int(rng.expovariate(1.0 / 12.0)) + 1)
+                draws.append(
+                    (
+                        start + rng.random() * span,
+                        src,
+                        dst,
+                        packet_count,
+                        packet_count * 1400,
+                        min(60.0, packet_count * 0.05),
+                    )
                 )
-            )
-        return Trace(name, self._network, flows)
+            return draws
+
+        return GeneratedStream(
+            name,
+            self._network,
+            plan_windows(diurnal_spans(profile.duration_hours), profile.total_flows),
+            emit,
+            seed=profile.seed,
+            rng_label=("realistic-trace", name),
+            duration=profile.duration_hours * 3600.0,
+        )
+
+    def generate(self, *, name: str = "real-like") -> Trace:
+        """Generate the trace, materialized (the streamed flows, collected)."""
+        return Trace.from_stream(self.stream(name=name))
 
     # -- internals ---------------------------------------------------------
 
@@ -151,27 +198,3 @@ class RealisticTraceGenerator:
         ordered = sorted(pairs)
         rng.shuffle(ordered)
         return ordered
-
-    @staticmethod
-    def _diurnal_timestamps(rng, total_flows: int, duration_hours: float) -> List[float]:
-        """Draw flow arrival times following the diurnal profile.
-
-        Fractional durations cover a final partial hour: its weight is the
-        hour's diurnal weight scaled by the fraction, and its timestamps
-        stay inside the fraction, so no flow lands past ``duration_hours``.
-        Whole-hour durations take the exact integer code path (identical
-        RNG consumption), keeping historical traces bit-for-bit stable.
-        """
-        full_hours = int(duration_hours)
-        final_fraction = duration_hours - full_hours
-        weights = [(DIURNAL_PROFILE[hour % 24], 1.0) for hour in range(full_hours)]
-        if final_fraction > 0.0:
-            weights.append((DIURNAL_PROFILE[full_hours % 24] * final_fraction, final_fraction))
-        weight_sum = sum(weight for weight, _ in weights)
-        timestamps: List[float] = []
-        for hour, (weight, span) in enumerate(weights):
-            count = round(total_flows * weight / weight_sum)
-            for _ in range(count):
-                timestamps.append(hour * 3600.0 + rng.random() * 3600.0 * span)
-        timestamps.sort()
-        return timestamps

@@ -32,11 +32,15 @@ from repro.common.registry import (
     require_params_dataclass,
 )
 from repro.topology.network import DataCenterNetwork
+from repro.traffic.stream import FlowStream, MaterializedStream
 from repro.traffic.trace import Trace
 
 #: Builds one trace over a network from validated params; ``name`` labels the
 #: resulting trace (generators may fold it into their RNG stream labels).
 TrafficModelFactory = Callable[..., Trace]
+
+#: Builds one lazy chunk stream over a network from validated params.
+TrafficStreamFactory = Callable[..., FlowStream]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -48,6 +52,7 @@ class TrafficModelEntry:
     params_type: type
     label: str
     description: str = ""
+    stream_factory: Optional[TrafficStreamFactory] = None
 
     def param_names(self) -> frozenset:
         """Names of the knobs this model's params dataclass accepts."""
@@ -73,6 +78,25 @@ class TrafficModelEntry:
         """Generate one trace over ``network`` from a raw params mapping."""
         return self.factory(network, self.make_params(params), name=name)
 
+    def build_stream(
+        self,
+        network: DataCenterNetwork,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        name: str = "trace",
+    ) -> FlowStream:
+        """Generate one chunked flow stream over ``network`` from raw params.
+
+        Models registered with a ``stream`` factory (all the built-ins)
+        generate lazily in O(chunk) memory; models that only provide a trace
+        factory are materialized once and presented through the stream
+        protocol, so every consumer still works — just without the memory
+        bound.
+        """
+        if self.stream_factory is not None:
+            return self.stream_factory(network, self.make_params(params), name=name)
+        return MaterializedStream.from_trace(self.build(network, params, name=name))
+
 
 _REGISTRY: NamedRegistry[TrafficModelEntry] = NamedRegistry(
     kind="traffic model",
@@ -87,13 +111,17 @@ def register_traffic_model(
     params: type,
     label: str | None = None,
     description: str = "",
+    stream: Optional[TrafficStreamFactory] = None,
     replace: bool = False,
 ) -> Callable[[TrafficModelFactory], TrafficModelFactory]:
     """Register a traffic-model factory under ``name``.
 
     Use as a decorator on a factory taking ``(network, params, *, name)``
     and returning a :class:`~repro.traffic.trace.Trace`; ``params`` is the
-    frozen dataclass describing the model's knobs::
+    frozen dataclass describing the model's knobs.  ``stream`` optionally
+    registers the model's native chunked generator (same signature,
+    returning a :class:`~repro.traffic.stream.FlowStream`); without it the
+    streaming API falls back to materializing the trace::
 
         @dataclasses.dataclass(frozen=True)
         class RingParams:
@@ -118,6 +146,7 @@ def register_traffic_model(
                 params_type=params,
                 label=label or name,
                 description=description,
+                stream_factory=stream,
             ),
             replace=replace,
         )
@@ -145,7 +174,7 @@ def _register_builtin_traffic_models() -> None:
     """Register the built-in models (idempotent; called at import time)."""
     if "realistic" in _REGISTRY:
         return
-    from repro.traffic.mix import TrafficMixSpec, generate_mix_trace
+    from repro.traffic.mix import TrafficMixSpec, generate_mix_trace, stream_mix_trace
     from repro.traffic.models import (
         AllToAllShuffleParams,
         ElephantMiceParams,
@@ -155,24 +184,36 @@ def _register_builtin_traffic_models() -> None:
         generate_elephant_mice,
         generate_incast_hotspot,
         generate_uniform_background,
+        stream_all_to_all_shuffle,
+        stream_elephant_mice,
+        stream_incast_hotspot,
+        stream_uniform_background,
     )
     from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
     from repro.traffic.synthetic import SyntheticTraceGenerator, SyntheticTraceSpec
+
+    def _stream_realistic(network, params, *, name="real-like"):
+        return RealisticTraceGenerator(network, params).stream(name=name)
 
     @register_traffic_model(
         "realistic",
         params=RealisticTraceProfile,
         label="Realistic day-long",
         description="Diurnal enterprise substitute: skewed pairs, tenant locality (paper §V-A)",
+        stream=_stream_realistic,
     )
     def _build_realistic(network, params, *, name="real-like"):
         return RealisticTraceGenerator(network, params).generate(name=name)
+
+    def _stream_synthetic(network, params, *, name="synthetic"):
+        return SyntheticTraceGenerator(network).stream(params)
 
     @register_traffic_model(
         "synthetic",
         params=SyntheticTraceSpec,
         label="Synthetic p/q",
         description="The paper's p/q construction varying locality (Table II, §V-B)",
+        stream=_stream_synthetic,
     )
     def _build_synthetic(network, params, *, name="synthetic"):
         return SyntheticTraceGenerator(network).generate(params)
@@ -182,6 +223,7 @@ def _register_builtin_traffic_models() -> None:
         params=ElephantMiceParams,
         label="Elephant/mice",
         description="Few heavy long-lived pairs over a swarm of short mice flows",
+        stream=stream_elephant_mice,
     )(generate_elephant_mice)
 
     register_traffic_model(
@@ -189,6 +231,7 @@ def _register_builtin_traffic_models() -> None:
         params=IncastHotspotParams,
         label="Incast hotspot",
         description="Fan-in onto a few hot destination hosts, optionally burst-windowed",
+        stream=stream_incast_hotspot,
     )(generate_incast_hotspot)
 
     register_traffic_model(
@@ -196,6 +239,7 @@ def _register_builtin_traffic_models() -> None:
         params=AllToAllShuffleParams,
         label="All-to-all shuffle",
         description="Periodic shuffle waves where participants exchange flows pairwise",
+        stream=stream_all_to_all_shuffle,
     )(generate_all_to_all_shuffle)
 
     register_traffic_model(
@@ -203,6 +247,7 @@ def _register_builtin_traffic_models() -> None:
         params=UniformBackgroundParams,
         label="Uniform background",
         description="Locality-free baseline: uniform pairs, uniform arrival times",
+        stream=stream_uniform_background,
     )(generate_uniform_background)
 
     register_traffic_model(
@@ -210,6 +255,7 @@ def _register_builtin_traffic_models() -> None:
         params=TrafficMixSpec,
         label="Traffic mix",
         description="Weighted, time-windowed composition of other registered models",
+        stream=stream_mix_trace,
     )(generate_mix_trace)
 
 

@@ -16,11 +16,17 @@ advances the engine clock in lockstep with the trace, so events queued on
 the engine (workload churn, failure storms) fire in exact time order,
 interleaved with flow arrivals and periodic ticks.
 
-The inner loop is batched: flows between two periodic ticks are drained in
-one slice with the sink's handler pre-resolved to a local, and the engine
+The replayer drains its source chunk by chunk through the
+:class:`~repro.traffic.stream.FlowStream` protocol — a materialized
+:class:`~repro.traffic.trace.Trace` presents itself as one resident chunk,
+a generated stream as a lazy sequence of O(chunk)-sized ones — so replay
+memory is bounded by the chunk size, not the trace size.  Within each chunk
+the inner loop stays batched: flows between two periodic ticks are drained
+in one slice with the sink's handler pre-resolved to a local, and the engine
 lockstep is consulted only when an engine event is actually pending.  An
-optional :class:`~repro.perf.recorder.PerfRecorder` times the stages; the
-default :data:`~repro.perf.recorder.NULL_RECORDER` makes instrumentation a
+optional :class:`~repro.perf.recorder.PerfRecorder` times the stages and
+counts drained chunks; the default
+:data:`~repro.perf.recorder.NULL_RECORDER` makes instrumentation a
 per-batch no-op.
 """
 
@@ -28,11 +34,11 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence
 
 from repro.perf.recorder import NULL_RECORDER
 from repro.traffic.flow import FlowRecord
-from repro.traffic.trace import Trace
+from repro.traffic.stream import FlowStream, windowed_chunks
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.simulation.engine import SimulationEngine
@@ -55,6 +61,7 @@ class ReplayProgress:
 
     flows_replayed: int = 0
     periodic_invocations: int = 0
+    chunks_drained: int = 0
     start_time: float = 0.0
     end_time: float = 0.0
 
@@ -65,11 +72,16 @@ class ReplayProgress:
 
 
 class TraceReplayer:
-    """Replays a trace against a flow sink with periodic housekeeping callbacks."""
+    """Replays a flow source against a sink with periodic housekeeping callbacks.
+
+    The source may be a materialized :class:`~repro.traffic.trace.Trace` or
+    any :class:`~repro.traffic.stream.FlowStream`; both are drained through
+    the same chunked path.
+    """
 
     def __init__(
         self,
-        trace: Trace,
+        trace: FlowStream,
         sink: FlowSink,
         *,
         periodic_interval: float = 60.0,
@@ -91,12 +103,12 @@ class TraceReplayer:
         self._callbacks.append(callback)
 
     def replay(self, *, start: float = 0.0, end: Optional[float] = None) -> ReplayProgress:
-        """Replay the trace window ``[start, end)`` in time order.
+        """Replay the source window ``[start, end)`` in time order.
 
-        With ``end=None`` the window is clamped to the trace duration: every
-        remaining flow is replayed (the last arrival inclusive) and no
-        periodic tick fires past the last arrival.  For an empty trace (or a
-        ``start`` past the last arrival) the window collapses to the empty
+        With ``end=None`` the window is clamped to the flows actually seen:
+        every remaining flow is replayed (the last arrival inclusive) and no
+        periodic tick fires past the last arrival.  For an empty source (or
+        a ``start`` past the last arrival) the window collapses to the empty
         ``[start, start)``, so ``end_time`` never precedes ``start_time``.
 
         Periodic callbacks fire at every multiple of the configured interval
@@ -104,59 +116,65 @@ class TraceReplayer:
         arrivals (callbacks scheduled at time T fire before flows arriving at
         or after T).
         """
-        if end is None:
-            # [start, duration) would exclude flows arriving exactly at the
-            # trace's last timestamp, so select with an open-ended window.
-            window_end = max(start, self._trace.duration)
-            flows = self._trace.window(start, float("inf"))
-        else:
-            window_end = end
-            flows = self._trace.window(start, end)
-        progress = ReplayProgress(start_time=start, end_time=window_end)
+        progress = ReplayProgress(start_time=start, end_time=start)
         with self._perf.timeit("replay"):
-            self._run(flows, start, window_end, progress)
+            self._run(start, end, progress)
         return progress
 
-    def _run(self, flows: List[FlowRecord], start: float, window_end: float, progress: ReplayProgress) -> None:
+    def _run(self, start: float, end: Optional[float], progress: ReplayProgress) -> None:
         interval = self._interval
         perf = self._perf
         engine = self._engine
         handle = self._sink.handle_flow_arrival
-        start_times = [flow.start_time for flow in flows]
-        total = len(flows)
         next_tick = start + interval
-        index = 0
+        last_arrival: Optional[float] = None
 
-        while index < total:
-            # All flows arriving strictly before the next tick form one
-            # batch; the tick at time T fires before flows at or after T.
-            boundary = bisect_left(start_times, next_tick, index)
-            if boundary > index:
-                batch = flows[index:boundary]
-                with perf.timeit("flow_handling"):
-                    if engine is None:
-                        for flow in batch:
-                            handle(flow, flow.start_time)
-                    else:
-                        self._drain_with_engine(batch, handle, engine, perf)
-                progress.flows_replayed += boundary - index
-                index = boundary
-            if index >= total:
-                break
-            # The next flow arrives at or after next_tick: fire every tick
-            # scheduled up to (and including) that arrival time first.
-            arrival = start_times[index]
-            while next_tick <= arrival:
-                self._fire_periodic(next_tick, progress)
-                next_tick += interval
+        for flows in windowed_chunks(self._trace, start=start, end=end):
+            progress.chunks_drained += 1
+            start_times = [flow.start_time for flow in flows]
+            total = len(flows)
+            index = 0
+            while index < total:
+                # All flows arriving strictly before the next tick form one
+                # batch; the tick at time T fires before flows at or after T.
+                boundary = bisect_left(start_times, next_tick, index)
+                if boundary > index:
+                    batch = flows[index:boundary]
+                    with perf.timeit("flow_handling"):
+                        if engine is None:
+                            for flow in batch:
+                                handle(flow, flow.start_time)
+                        else:
+                            self._drain_with_engine(batch, handle, engine, perf)
+                    progress.flows_replayed += boundary - index
+                    index = boundary
+                if index >= total:
+                    break
+                # The next flow arrives at or after next_tick: fire every tick
+                # scheduled up to (and including) that arrival time first.
+                arrival = start_times[index]
+                while next_tick <= arrival:
+                    self._fire_periodic(next_tick, progress)
+                    next_tick += interval
+            if total:
+                last_arrival = start_times[-1]
 
+        if end is not None:
+            window_end = end
+        elif last_arrival is not None:
+            window_end = max(start, last_arrival)
+        else:
+            window_end = start
         while next_tick <= window_end:
             self._fire_periodic(next_tick, progress)
             next_tick += interval
         self._advance_engine(window_end)
+        progress.end_time = window_end
 
     @staticmethod
-    def _drain_with_engine(batch: List[FlowRecord], handle, engine: "SimulationEngine", perf) -> None:
+    def _drain_with_engine(
+        batch: Sequence[FlowRecord], handle, engine: "SimulationEngine", perf
+    ) -> None:
         """Replay one batch in lockstep with the coupled engine.
 
         The engine is consulted only while events are actually pending: once

@@ -1,0 +1,610 @@
+"""Bounded-memory flow streams: the chunked trace pipeline.
+
+A :class:`FlowStream` is the lazy counterpart of a materialized
+:class:`~repro.traffic.trace.Trace`: a re-iterable sequence of time-ordered
+*chunks* of :class:`~repro.traffic.flow.FlowRecord`, bound to a topology and
+carrying its nominal ``total_flows`` and ``duration`` up front.  The traffic
+generators emit streams natively, the replayer drains them chunk by chunk,
+and ``Trace`` is now just the convenience consumer that concatenates every
+chunk into a list — so a multi-million-flow replay never holds more than one
+chunk (plus the control plane under test) in memory.
+
+The contract every stream upholds:
+
+* **chunks are time-ordered** — flows within a chunk are sorted by
+  ``(start_time, src, dst, payload)`` and every flow in chunk ``n+1`` starts
+  at or after every flow in chunk ``n``;
+* **flow ids are assigned in emission order** — chunk concatenation yields
+  ids ``0..n-1`` ascending, which is exactly the canonical order the
+  materialized path produces;
+* **re-iterable** — :meth:`FlowStream.chunks` can be called repeatedly and
+  regenerates the identical sequence (generation is a pure function of the
+  stream's parameters), which is what lets the runner compute a warm-up
+  intensity matrix and then replay from the top without buffering;
+* **deterministic per-chunk seeding** — each chunk of a generated stream
+  draws from ``make_rng(seed, label, "chunk", index)``, so chunk ``k`` can
+  be produced without generating chunks ``0..k-1``'s flows, and the chunk
+  grid is a pure function of the generation params (never a runtime knob —
+  otherwise two runs with different chunk sizes would diverge).
+
+:class:`TraceStatistics` is the single accumulating pass shared by streams
+and traces: it folds switch intensity, pair activity and hourly arrival
+counts out of one walk over the flows, instead of re-scanning a materialized
+list per view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.common.errors import TrafficError
+from repro.common.rng import make_rng
+from repro.datastructures.intensity import IntensityMatrix
+from repro.topology.network import DataCenterNetwork
+from repro.traffic.flow import FlowRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace imports stream)
+    from repro.traffic.trace import PairActivity, Trace
+
+#: Target flows per generated chunk.  A model constant, deliberately not a
+#: runtime knob: the chunk grid feeds the per-chunk RNG derivation, so making
+#: it configurable would let two "identical" runs produce different traces.
+CHUNK_TARGET_FLOWS = 50_000
+
+#: A flow before it has an identity: (start_time, src, dst, packets, bytes,
+#: duration).  Generators emit draws, the stream sorts them and mints ids.
+FlowDraw = Tuple[float, int, int, int, int, float]
+
+
+@runtime_checkable
+class FlowStream(Protocol):
+    """Anything that can produce a trace as time-ordered chunks."""
+
+    name: str
+    network: DataCenterNetwork
+
+    @property
+    def total_flows(self) -> int:
+        """Nominal number of flows the stream will emit."""
+        ...
+
+    @property
+    def duration(self) -> float:
+        """Nominal timeline length in seconds."""
+        ...
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        """Yield the flows as time-ordered chunks (re-iterable)."""
+        ...
+
+
+# -- the one-pass statistics accumulator --------------------------------------
+
+
+def accumulate_intensity(
+    network: DataCenterNetwork,
+    flows: Iterable[FlowRecord],
+    matrix: Optional[IntensityMatrix] = None,
+) -> IntensityMatrix:
+    """Fold flows into a switch-level intensity matrix, and nothing else.
+
+    The intensity-only fast path: the warm-up grouping and the Fig. 6
+    analysis only need the matrix, so they skip the per-flow hourly/pair
+    accounting :class:`TraceStatistics` would also do.
+    """
+    if matrix is None:
+        matrix = IntensityMatrix(network.switch_ids())
+    pair_of = network.switch_pair_of_hosts
+    record = matrix.record
+    for flow in flows:
+        src_switch, dst_switch = pair_of(flow.src_host_id, flow.dst_host_id)
+        record(src_switch, dst_switch, 1.0)
+    return matrix
+
+
+class TraceStatistics:
+    """Accumulates every derived trace view in one pass over flow arrivals.
+
+    Feed it flows with :meth:`observe` (or :meth:`observe_all`) and read the
+    finished views: the switch-level :attr:`intensity` matrix, the
+    :meth:`pair_activity` concentration summary, :meth:`hourly_flow_counts`
+    and :meth:`communicating_pairs`.  One accumulator walk replaces the
+    per-view re-scans the materialized ``Trace`` used to do, and is the only
+    way to compute these views for a stream without materializing it.
+
+    ``track_pairs=False`` drops the per-pair counter — the only view whose
+    memory grows with distinct pairs rather than with topology size — which
+    is what the bounded-memory replay path uses.  ``track_intensity=False``
+    skips the per-flow switch lookup for passes that only need the
+    topology-independent views.
+    """
+
+    __slots__ = ("network", "intensity", "flow_count", "last_arrival", "_pair_counts", "_hourly")
+
+    def __init__(
+        self,
+        network: DataCenterNetwork,
+        *,
+        track_pairs: bool = True,
+        track_intensity: bool = True,
+    ) -> None:
+        self.network = network
+        self.intensity: Optional[IntensityMatrix] = (
+            IntensityMatrix(network.switch_ids()) if track_intensity else None
+        )
+        self.flow_count = 0
+        self.last_arrival = 0.0
+        self._pair_counts: Optional[Counter] = Counter() if track_pairs else None
+        self._hourly: Dict[int, int] = {}
+
+    def observe(self, flow: FlowRecord) -> None:
+        """Fold one flow arrival into every view."""
+        if self.intensity is not None:
+            src_switch, dst_switch = self.network.switch_pair_of_hosts(
+                flow.src_host_id, flow.dst_host_id
+            )
+            self.intensity.record(src_switch, dst_switch, 1.0)
+        self.flow_count += 1
+        if flow.start_time > self.last_arrival:
+            self.last_arrival = flow.start_time
+        hour = int(flow.start_time // 3600)
+        self._hourly[hour] = self._hourly.get(hour, 0) + 1
+        if self._pair_counts is not None:
+            self._pair_counts[flow.unordered_pair] += 1
+
+    def observe_all(self, flows: Iterable[FlowRecord]) -> "TraceStatistics":
+        """Fold a whole iterable of flows; returns self for chaining."""
+        for flow in flows:
+            self.observe(flow)
+        return self
+
+    def hourly_flow_counts(self, *, hours: int = 24) -> List[int]:
+        """Flow arrivals per hour over the first ``hours`` hours."""
+        return [self._hourly.get(hour, 0) for hour in range(hours)]
+
+    def pair_activity(self) -> "PairActivity":
+        """Distinct communicating pairs and the busiest-decile flow share."""
+        from repro.traffic.trace import PairActivity
+
+        if self._pair_counts is None:
+            raise TrafficError("pair activity was not tracked by this accumulator")
+        counts = self._pair_counts
+        if not counts:
+            return PairActivity(total_flows=0, distinct_pairs=0, top_decile_share=0.0)
+        total = sum(counts.values())
+        ranked = sorted(counts.values(), reverse=True)
+        top_count = max(1, len(ranked) // 10)
+        top_share = sum(ranked[:top_count]) / total
+        return PairActivity(total_flows=total, distinct_pairs=len(counts), top_decile_share=top_share)
+
+    def communicating_pairs(self) -> set[tuple[int, int]]:
+        """The set of unordered host pairs that exchanged at least one flow."""
+        if self._pair_counts is None:
+            raise TrafficError("pair activity was not tracked by this accumulator")
+        return set(self._pair_counts)
+
+
+# -- chunk planning ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkWindow:
+    """One planned chunk: a half-open time window plus per-category counts.
+
+    Most models draw one category of flows; models that layer several flow
+    populations with different time supports (incast's hotspot burst over its
+    background) carry one count per category.
+    """
+
+    index: int
+    start: float
+    end: float
+    counts: Tuple[int, ...]
+
+    @property
+    def flow_count(self) -> int:
+        """Total flows planned for this chunk across all categories."""
+        return sum(self.counts)
+
+    @property
+    def span(self) -> float:
+        """Window length in seconds."""
+        return self.end - self.start
+
+
+def allocate_counts(total: int, weights: Sequence[float]) -> List[int]:
+    """Split ``total`` across ``weights`` exactly, by largest remainder.
+
+    Floors every proportional share and hands the leftover units to the
+    largest fractional parts (ties broken by position), so the result is a
+    pure function of ``(total, weights)`` and always sums to ``total``.
+
+    ``repro.traffic.mix._component_flow_counts`` is the same algorithm with
+    a different determinism contract (fsum-normalized shares, fingerprint
+    tie-break) because mixes must additionally be invariant under component
+    reordering; here position *is* the identity (windows never reorder), and
+    the result feeds the per-chunk RNG grid, so the arithmetic must never
+    change.  Keep the two in sync deliberately, not accidentally.
+    """
+    weight_sum = sum(weights)
+    if weight_sum <= 0 or total <= 0:
+        return [0] * len(weights)
+    shares = [total * weight / weight_sum for weight in weights]
+    counts = [int(share) for share in shares]
+    leftover = total - sum(counts)
+    by_remainder = sorted(range(len(shares)), key=lambda i: (counts[i] - shares[i], i))
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return counts
+
+
+def subdivide_span(
+    start: float,
+    end: float,
+    flow_count: int,
+    *,
+    target_flows: int = CHUNK_TARGET_FLOWS,
+) -> List[Tuple[float, float]]:
+    """Split ``[start, end)`` into equal sub-windows sized for ``flow_count``.
+
+    Produces ``ceil(flow_count / target_flows)`` consecutive windows (at
+    least one), with the final window's end pinned to ``end`` exactly so
+    float step accumulation never leaks past the span.  This is the one
+    chunk-grid subdivision every generator shares — the grid feeds the
+    per-chunk RNG derivation, so there must be exactly one implementation.
+    """
+    parts = max(1, -(-flow_count // max(1, target_flows)))  # ceil division
+    step = (end - start) / parts
+    return [
+        (start + part * step, end if part == parts - 1 else start + (part + 1) * step)
+        for part in range(parts)
+    ]
+
+
+def plan_windows(
+    spans: Sequence[Tuple[float, float, float]],
+    total_flows: int,
+    *,
+    target_flows: int = CHUNK_TARGET_FLOWS,
+) -> List[ChunkWindow]:
+    """Plan the chunk grid over weighted time spans.
+
+    ``spans`` lists ``(start, end, weight)`` segments of the timeline (hours
+    of a diurnal day, phases of a shuffle, or just the whole duration).
+    Every span receives flows in proportion to its weight; spans whose
+    allocation exceeds ``target_flows`` are subdivided into equal sub-windows
+    so no chunk is expected to hold more than roughly ``target_flows`` flows.
+    """
+    span_counts = allocate_counts(total_flows, [weight for _, _, weight in spans])
+    windows: List[ChunkWindow] = []
+    index = 0
+    for (start, end, _), count in zip(spans, span_counts):
+        bounds = subdivide_span(start, end, count, target_flows=target_flows)
+        part_counts = allocate_counts(count, [1.0] * len(bounds))
+        for (part_start, part_end), part_count in zip(bounds, part_counts):
+            windows.append(
+                ChunkWindow(index=index, start=part_start, end=part_end, counts=(part_count,))
+            )
+            index += 1
+    return windows
+
+
+def uniform_spans(duration_seconds: float) -> List[Tuple[float, float, float]]:
+    """The degenerate span list for a uniform-rate model: one flat segment."""
+    return [(0.0, duration_seconds, 1.0)]
+
+
+# -- stream implementations ----------------------------------------------------
+
+
+class FlowStreamBase:
+    """Shared behaviour of every concrete stream: views, iteration, materialization."""
+
+    name: str
+    network: DataCenterNetwork
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        raise NotImplementedError
+
+    @property
+    def total_flows(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def duration(self) -> float:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        for chunk in self.chunks():
+            yield from chunk
+
+    def statistics(
+        self,
+        *,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        track_pairs: bool = True,
+    ) -> TraceStatistics:
+        """Accumulate every derived view over ``[start, end)`` in one pass.
+
+        ``end=None`` covers the whole stream including a flow arriving
+        exactly at the nominal duration.
+        """
+        stats = TraceStatistics(self.network, track_pairs=track_pairs)
+        for chunk in windowed_chunks(self, start=start, end=end):
+            stats.observe_all(chunk)
+        return stats
+
+    def switch_intensity(self, *, start: float = 0.0, end: Optional[float] = None) -> IntensityMatrix:
+        """The switch-level intensity matrix over a window, in one pass.
+
+        This is what lets a control plane's ``prepare`` warm up from a
+        stream exactly as it does from a materialized trace.  Generation
+        stops at the first chunk past ``end``, so a warm-up window only ever
+        generates its own chunks.
+        """
+        matrix = IntensityMatrix(self.network.switch_ids())
+        for chunk in windowed_chunks(self, start=start, end=end):
+            accumulate_intensity(self.network, chunk, matrix)
+        return matrix
+
+    def materialize(self, *, name: Optional[str] = None) -> "Trace":
+        """Collect the whole stream into a materialized :class:`Trace`."""
+        from repro.traffic.trace import Trace
+
+        return Trace(name or self.name, self.network, self)
+
+
+#: Produces one chunk's draws: ``(rng, window) -> list of FlowDraw``.
+ChunkEmitter = Callable[..., List[FlowDraw]]
+
+
+class GeneratedStream(FlowStreamBase):
+    """A stream produced chunk-by-chunk from a planned window grid.
+
+    ``emit(rng, window)`` returns the chunk's raw draws; the stream sorts
+    them canonically, mints ascending flow ids and validates nothing — the
+    emitters only produce hosts that exist because they draw from the
+    topology they were built over.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: DataCenterNetwork,
+        windows: Sequence[ChunkWindow],
+        emit: ChunkEmitter,
+        *,
+        seed: int,
+        rng_label: str | Tuple[str, ...],
+        duration: float,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self._windows = list(windows)
+        self._emit = emit
+        self._seed = seed
+        self._rng_labels = (rng_label,) if isinstance(rng_label, str) else tuple(rng_label)
+        self._duration = duration
+        self._total_flows = sum(window.flow_count for window in self._windows)
+
+    @property
+    def total_flows(self) -> int:
+        return self._total_flows
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of planned chunks (empty windows included)."""
+        return len(self._windows)
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        flow_id = 0
+        for window in self._windows:
+            if window.flow_count <= 0:
+                continue
+            rng = make_rng(self._seed, *self._rng_labels, "chunk", str(window.index))
+            draws = self._emit(rng, window)
+            draws.sort()
+            chunk = [
+                FlowRecord(
+                    start_time=draw[0],
+                    flow_id=flow_id + offset,
+                    src_host_id=draw[1],
+                    dst_host_id=draw[2],
+                    packet_count=draw[3],
+                    byte_count=draw[4],
+                    duration=draw[5],
+                )
+                for offset, draw in enumerate(draws)
+            ]
+            flow_id += len(chunk)
+            yield chunk
+
+
+class MaterializedStream(FlowStreamBase):
+    """An already-materialized flow list presented through the stream protocol.
+
+    Adapts third-party trace factories (which return a ``Trace``) and lets
+    every stream consumer also accept materialized input.  Chunks are list
+    slices, so iteration allocates one chunk at a time but the backing list
+    stays resident — this adapter provides the *interface*, not the memory
+    bound.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: DataCenterNetwork,
+        flows: Sequence[FlowRecord],
+        *,
+        duration: Optional[float] = None,
+        chunk_flows: int = CHUNK_TARGET_FLOWS,
+    ) -> None:
+        if chunk_flows <= 0:
+            raise TrafficError("chunk_flows must be positive")
+        self.name = name
+        self.network = network
+        self._flows = flows
+        self._chunk_flows = chunk_flows
+        self._duration = duration
+
+    @classmethod
+    def from_trace(cls, trace: "Trace") -> "MaterializedStream":
+        """Wrap a materialized trace (flows are shared, not copied)."""
+        return cls(trace.name, trace.network, trace.flows, duration=trace.duration)
+
+    @property
+    def total_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def duration(self) -> float:
+        if self._duration is not None:
+            return self._duration
+        return self._flows[-1].start_time if self._flows else 0.0
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        flows = self._flows
+        for offset in range(0, len(flows), self._chunk_flows):
+            yield flows[offset : offset + self._chunk_flows]
+
+
+#: Canonical merge key: everything but the (re-assigned) flow id.  Identical
+#: to the materialized mix's canonical sort, which is what makes the merged
+#: stream independent of component order.
+def merge_key(flow: FlowRecord) -> FlowDraw:
+    """The canonical (time, endpoints, payload) ordering key of a flow."""
+    return (
+        flow.start_time,
+        flow.src_host_id,
+        flow.dst_host_id,
+        flow.packet_count,
+        flow.byte_count,
+        flow.duration,
+    )
+
+
+class MergedStream(FlowStreamBase):
+    """A k-way merge of component streams onto one renumbered timeline.
+
+    Each part is ``(stream, offset_seconds, span_seconds)``: the component's
+    local timeline is clipped to ``[0, span)`` and shifted by ``offset``
+    (its window start).  The merge keeps every component's *current* chunk
+    resident plus one output chunk — O(components × chunk) memory, still
+    independent of trace length.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: DataCenterNetwork,
+        parts: Sequence[Tuple[FlowStream, float, float]],
+        *,
+        duration: float,
+        chunk_flows: int = CHUNK_TARGET_FLOWS,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self._parts = list(parts)
+        self._duration = duration
+        self._chunk_flows = chunk_flows
+
+    @property
+    def total_flows(self) -> int:
+        return sum(stream.total_flows for stream, _, _ in self._parts)
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @staticmethod
+    def _shifted(stream: FlowStream, offset: float, span: float) -> Iterator[FlowDraw]:
+        for chunk in stream.chunks():
+            for flow in chunk:
+                # Models that ignore duration_hours could emit past the
+                # component's window; chunks are time-ordered, so the first
+                # flow at or past the span ends the component without
+                # generating (and discarding) everything after it.
+                if flow.start_time >= span:
+                    return
+                key = merge_key(flow)
+                yield (key[0] + offset, *key[1:]) if offset else key
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        iterators = [self._shifted(stream, offset, span) for stream, offset, span in self._parts]
+        merged = heapq.merge(*iterators)
+        chunk: List[FlowRecord] = []
+        flow_id = 0
+        for key in merged:
+            chunk.append(
+                FlowRecord(
+                    start_time=key[0],
+                    flow_id=flow_id,
+                    src_host_id=key[1],
+                    dst_host_id=key[2],
+                    packet_count=key[3],
+                    byte_count=key[4],
+                    duration=key[5],
+                )
+            )
+            flow_id += 1
+            if len(chunk) >= self._chunk_flows:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+        elif flow_id == 0:
+            # Match the materialized path, which refuses to build an empty
+            # mix trace, so the streamed and materialized contracts agree.
+            raise TrafficError("the traffic mix produced no flows")
+
+
+# -- windowed consumption ------------------------------------------------------
+
+
+def windowed_chunks(
+    source: FlowStream, *, start: float = 0.0, end: Optional[float] = None
+) -> Iterator[Sequence[FlowRecord]]:
+    """Drain a stream's chunks trimmed to the replay window ``[start, end)``.
+
+    Chunks entirely before ``start`` are skipped, the stream is abandoned at
+    the first chunk starting at or past ``end``, and boundary chunks are
+    bisect-trimmed — so consuming a sub-window never generates flows past it.
+    """
+    for chunk in source.chunks():
+        if not chunk:
+            continue
+        if chunk[-1].start_time < start:
+            continue
+        if end is not None and chunk[0].start_time >= end:
+            break
+        lo = 0
+        hi = len(chunk)
+        if chunk[0].start_time < start:
+            lo = bisect_left(chunk, start, key=lambda flow: flow.start_time)
+        if end is not None and chunk[-1].start_time >= end:
+            hi = bisect_left(chunk, end, lo, key=lambda flow: flow.start_time)
+        if lo == 0 and hi == len(chunk):
+            yield chunk
+        elif lo < hi:
+            yield chunk[lo:hi]

@@ -1,20 +1,32 @@
 """Trace container and trace-level statistics.
 
 A :class:`Trace` couples a time-sorted list of :class:`FlowRecord` with the
-:class:`~repro.topology.network.DataCenterNetwork` the hosts live in, and
-provides the derived views the rest of the library needs:
+:class:`~repro.topology.network.DataCenterNetwork` the hosts live in.  Since
+the streaming refactor it is the *materialized convenience wrapper* over the
+chunked pipeline: every built-in generator natively emits a
+:class:`~repro.traffic.stream.FlowStream`, and :meth:`Trace.from_stream`
+(or passing the stream straight to the constructor — streams are iterable)
+collects the chunks into a list for callers that want random access.
+
+The derived views the rest of the library needs —
 
 * the switch-level intensity matrix over an arbitrary time window (input to
   the grouping algorithms and the replayer),
 * pair-activity statistics (distinct communicating host pairs, share of
   flows contributed by the busiest pairs — the paper's motivation numbers),
-* per-hour flow-arrival counts (the diurnal shape used by Fig. 7).
+* per-hour flow-arrival counts (the diurnal shape used by Fig. 7)
+
+— are all computed by one accumulating
+:class:`~repro.traffic.stream.TraceStatistics` pass rather than a re-scan
+per view: the topology-independent views (pair activity, hourly counts,
+communicating pairs) share a single cached pass, while the intensity matrix
+is re-accumulated per call because it reflects host placement *now* (VM
+churn moves hosts between switches mid-replay).
 """
 
 from __future__ import annotations
 
 import bisect
-from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -22,6 +34,7 @@ from repro.common.errors import TrafficError
 from repro.datastructures.intensity import IntensityMatrix
 from repro.topology.network import DataCenterNetwork
 from repro.traffic.flow import FlowRecord
+from repro.traffic.stream import FlowStream, TraceStatistics, accumulate_intensity
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,10 +54,16 @@ class Trace:
         self.network = network
         self._flows: List[FlowRecord] = sorted(flows)
         self._start_times: List[float] = [flow.start_time for flow in self._flows]
+        self._pair_stats: Optional[TraceStatistics] = None
         for flow in self._flows:
             # Fail fast on flows referencing hosts outside the topology.
             network.host(flow.src_host_id)
             network.host(flow.dst_host_id)
+
+    @classmethod
+    def from_stream(cls, stream: FlowStream, *, name: Optional[str] = None) -> "Trace":
+        """Materialize a chunked flow stream into a trace."""
+        return cls(name or stream.name, stream.network, stream)
 
     # -- basic accessors ----------------------------------------------------
 
@@ -60,6 +79,11 @@ class Trace:
         return self._flows
 
     @property
+    def total_flows(self) -> int:
+        """Number of flow arrivals (the stream-protocol spelling)."""
+        return len(self._flows)
+
+    @property
     def duration(self) -> float:
         """Time of the last flow arrival (0 for an empty trace)."""
         return self._flows[-1].start_time if self._flows else 0.0
@@ -67,6 +91,16 @@ class Trace:
     def flow_count(self) -> int:
         """Number of flow arrivals in the trace."""
         return len(self._flows)
+
+    def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        """The whole trace as a single chunk (the stream protocol).
+
+        A materialized trace is already resident, so presenting it as one
+        chunk costs nothing and lets every stream consumer (the replayer
+        first of all) treat traces and streams uniformly.
+        """
+        if self._flows:
+            yield self._flows
 
     def window(self, start: float, end: float) -> List[FlowRecord]:
         """Flows whose arrival time falls in ``[start, end)``."""
@@ -78,16 +112,21 @@ class Trace:
 
     # -- derived statistics ---------------------------------------------------
 
+    def _cached_pair_statistics(self) -> TraceStatistics:
+        """The single shared pass behind every topology-independent view."""
+        if self._pair_stats is None:
+            stats = TraceStatistics(self.network, track_pairs=True, track_intensity=False)
+            self._pair_stats = stats.observe_all(self._flows)
+        return self._pair_stats
+
+    def statistics(self, *, track_pairs: bool = True) -> TraceStatistics:
+        """Accumulate every derived view (intensity included) in one fresh pass."""
+        stats = TraceStatistics(self.network, track_pairs=track_pairs)
+        return stats.observe_all(self._flows)
+
     def pair_activity(self) -> PairActivity:
         """Distinct communicating pairs and the share of the busiest 10 % of pairs."""
-        counts = Counter(flow.unordered_pair for flow in self._flows)
-        if not counts:
-            return PairActivity(total_flows=0, distinct_pairs=0, top_decile_share=0.0)
-        total = sum(counts.values())
-        ranked = sorted(counts.values(), reverse=True)
-        top_count = max(1, len(ranked) // 10)
-        top_share = sum(ranked[:top_count]) / total
-        return PairActivity(total_flows=total, distinct_pairs=len(counts), top_decile_share=top_share)
+        return self._cached_pair_statistics().pair_activity()
 
     def switch_intensity(self, *, start: float = 0.0, end: Optional[float] = None) -> IntensityMatrix:
         """Build the switch-level intensity matrix for a time window.
@@ -95,33 +134,37 @@ class Trace:
         Every flow contributes one unit of intensity between the switches of
         its two endpoints; same-switch flows only register the switch.  The
         matrix is what SGI partitions and what Fig. 6 is computed from.
+
+        ``end=None`` means the window is inclusive of the trace's last
+        arrival: a flow arriving exactly at ``duration`` is counted once.
+        An explicit ``end`` keeps the usual half-open ``[start, end)``
+        semantics.  The matrix reflects host placement at call time, so it
+        is accumulated fresh per call rather than cached.
         """
-        matrix = IntensityMatrix(self.network.switch_ids())
-        window_end = end if end is not None else self.duration + 1.0
-        for flow in self.window(start, window_end):
-            src_switch, dst_switch = self.network.switch_pair_of_hosts(flow.src_host_id, flow.dst_host_id)
-            matrix.record(src_switch, dst_switch, 1.0)
-        return matrix
+        window_end = float("inf") if end is None else end
+        return accumulate_intensity(self.network, self.window(start, window_end))
 
     def hourly_flow_counts(self, *, hours: int = 24) -> List[int]:
         """Flow arrivals per hour over the first ``hours`` hours."""
-        counts = [0] * hours
-        for flow in self._flows:
-            hour = int(flow.start_time // 3600)
-            if 0 <= hour < hours:
-                counts[hour] += 1
-        return counts
+        return self._cached_pair_statistics().hourly_flow_counts(hours=hours)
 
     def communicating_pairs(self) -> set[tuple[int, int]]:
         """The set of unordered host pairs that exchanged at least one flow."""
-        return {flow.unordered_pair for flow in self._flows}
+        return self._cached_pair_statistics().communicating_pairs()
 
     def subtrace(self, *, start: float, end: float, name: Optional[str] = None) -> "Trace":
         """A new trace restricted to flows arriving in ``[start, end)``."""
         return Trace(name or f"{self.name}[{start:.0f},{end:.0f})", self.network, self.window(start, end))
 
     def merged_with(self, other: "Trace", *, name: Optional[str] = None) -> "Trace":
-        """Merge two traces defined over the same topology."""
-        if other.network is not self.network:
+        """Merge two traces defined over the same topology.
+
+        The topologies may be distinct objects as long as they are
+        structurally equal (same switches, host placement and tenancy) —
+        rebuilding a network from the same spec yields an equal topology,
+        and traces over it merge fine.  Genuinely different topologies are
+        still rejected.
+        """
+        if other.network is not self.network and not self.network.structurally_equal(other.network):
             raise TrafficError("cannot merge traces defined over different topologies")
         return Trace(name or f"{self.name}+{other.name}", self.network, list(self._flows) + list(other.flows))

@@ -5,7 +5,7 @@ import json
 
 from pathlib import Path
 
-from repro.cli import BENCH_PRESETS, main
+from repro.cli import BENCH_PRESETS, SMOKE_BENCH_PRESETS, main
 from repro.core.presets import get_preset
 from repro.core.runner import ScenarioResult
 from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
@@ -108,6 +108,34 @@ class TestRun:
         result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
         assert list(result.runs) == ["openflow"]
 
+    def test_stream_flag_selects_bounded_memory_replay(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--stream", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.stream is True
+
+    def test_no_stream_forces_materialized_path_on_streaming_preset(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7-10m", "--flows", "2000", "--switches", "8",
+                     "--hosts", "60", "--duration-hours", "2",
+                     "--no-stream", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.stream is False
+
+    def test_streamed_run_matches_materialized_results(self, tmp_path, capsys):
+        materialized, streamed = tmp_path / "mat.json", tmp_path / "str.json"
+        base = ["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow,lazyctrl-dynamic"]
+        assert main([*base, "--out", str(materialized)]) == 0
+        assert main([*base, "--stream", "--out", str(streamed)]) == 0
+        left = json.loads(materialized.read_text())
+        right = json.loads(streamed.read_text())
+        # Identical replay outcomes; only the spec's stream flag differs.
+        assert left["runs"] == right["runs"]
+        assert left["spec"]["stream"] is False and right["spec"]["stream"] is True
+
     def test_run_spec_file(self, tmp_path, capsys):
         spec = ScenarioSpec(
             name="from-file",
@@ -183,6 +211,23 @@ class TestBench:
         handled = {record["flows_handled"] for record in payload["systems"].values()}
         assert len(handled) == 1 and handled.pop() > 0
 
+    def test_bench_payload_reports_peak_rss_and_streaming(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "paper-fig7", *RUN_SMALL, "--stream",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_paper-fig7.json").read_text())
+        assert payload["streaming"] is True
+        assert payload["peak_rss_bytes"] > 1_000_000
+
+    def test_bench_streamed_counters_match_materialized(self, tmp_path, capsys):
+        assert main(["bench", "--presets", "paper-fig7", *RUN_SMALL,
+                     "--out-dir", str(tmp_path / "mat")]) == 0
+        assert main(["bench", "--presets", "paper-fig7", *RUN_SMALL, "--stream",
+                     "--out-dir", str(tmp_path / "str")]) == 0
+        materialized = json.loads((tmp_path / "mat" / "BENCH_paper-fig7.json").read_text())
+        streamed = json.loads((tmp_path / "str" / "BENCH_paper-fig7.json").read_text())
+        assert streamed["systems"] == materialized["systems"]
+
     def test_bench_check_passes_against_self_generated_baseline(self, tmp_path, capsys):
         baseline_dir = tmp_path / "baselines"
         args = ["bench", "--presets", "paper-fig7", *RUN_SMALL]
@@ -241,6 +286,20 @@ class TestBench:
                      "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
         assert code == 1
         assert "not covered by any benchmark preset" in capsys.readouterr().err
+
+    def test_bench_check_never_flags_smoke_baselines_as_stale(self, tmp_path, capsys):
+        """The 10M streaming smoke baseline belongs to its own CI job, so a
+        full default bench run must not fail (or warn) on it."""
+        baseline_dir = tmp_path / "baselines"
+        args = ["bench", *RUN_SMALL]  # full default preset list
+        assert main([*args, "--out-dir", str(baseline_dir)]) == 0
+        (baseline_dir / "BENCH_paper-fig7-10m.json").write_text("{}")
+        code = main([*args, "--out-dir", str(tmp_path / "fresh"),
+                     "--check", "--tolerance", "50", "--baseline-dir", str(baseline_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "paper-fig7-10m" not in captured.err
+        assert "paper-fig7-10m" not in captured.out
 
     def test_bench_check_fails_without_committed_baselines(self, tmp_path, capsys):
         code = main(["bench", "--presets", "paper-fig7", *RUN_SMALL,
@@ -326,7 +385,7 @@ class TestBenchBaselineCoverage:
         """
         produced = {
             spec.name
-            for preset_name in BENCH_PRESETS
+            for preset_name in (*BENCH_PRESETS, *SMOKE_BENCH_PRESETS)
             for spec in get_preset(preset_name).specs()
         }
         baseline_dir = Path(__file__).parent.parent / "benchmarks" / "baselines"

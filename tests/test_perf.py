@@ -3,10 +3,12 @@
 import json
 import time
 
+import pytest
+
 from repro.core.runner import ScenarioResult, ScenarioRunner
 from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
 from repro.perf.baseline import check_against_baselines, compare_payloads
-from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder
+from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
 from repro.topology.builder import TopologyProfile
 
@@ -70,9 +72,23 @@ class TestPerfRecorder:
         assert snapshot.flows_per_second == 250.0
         assert snapshot.counters == {"x": 3}
 
+    def test_gauges_record_last_observation(self):
+        recorder = PerfRecorder()
+        recorder.gauge("replay.peak_rss_bytes", 1000.0)
+        recorder.gauge("replay.peak_rss_bytes", 2500)
+        snapshot = recorder.snapshot(wall_seconds=1.0, flows_replayed=1)
+        assert snapshot.gauges == {"replay.peak_rss_bytes": 2500.0}
+
+    def test_peak_rss_bytes_reports_resident_memory(self):
+        pytest.importorskip("resource")  # non-POSIX platforms return the 0 fallback
+        value = peak_rss_bytes()
+        # A running CPython interpreter holds at least a few MB resident.
+        assert value > 1_000_000
+
     def test_null_recorder_is_inert(self):
         recorder = NullRecorder()
         recorder.count("anything", 5)
+        recorder.gauge("anything", 1.0)
         with recorder.timeit("stage"):
             pass
         assert recorder.snapshot() is None
@@ -88,9 +104,17 @@ class TestPerfSnapshotSerialization:
             flows_per_second=66.7,
             counters={"controller.requests": 42},
             stages=(StageStats(name="replay", calls=1, total_seconds=1.5, exclusive_seconds=0.1),),
+            gauges={"replay.peak_rss_bytes": 123456.0},
         )
         revived = PerfSnapshot.from_dict(json.loads(json.dumps(snapshot.to_dict())))
         assert revived == snapshot
+
+    def test_snapshot_json_without_gauges_loads(self):
+        """Snapshots written before the gauge field existed still revive."""
+        snapshot = PerfSnapshot(wall_seconds=1.0, flows_replayed=1, flows_per_second=1.0)
+        data = snapshot.to_dict()
+        del data["gauges"]
+        assert PerfSnapshot.from_dict(data).gauges == {}
 
     def test_counters_survive_scenario_result_round_trip(self):
         result = ScenarioRunner().run(small_spec(), collect_perf=True)
@@ -140,6 +164,28 @@ class TestInstrumentedRuns:
         openflow = result.runs["openflow"].perf
         assert openflow.counters["controller.requests"] == result.runs["openflow"].total_controller_requests
         assert openflow.flows_per_second > 0
+
+    def test_instrumented_run_records_chunks_and_peak_rss(self):
+        result = ScenarioRunner().run(small_spec(systems=("lazyctrl-dynamic",)), collect_perf=True)
+        perf = result.runs["lazyctrl-dynamic"].perf
+        # A materialized trace drains as one chunk; a streamed one as many.
+        assert perf.counters["replay.chunks_drained"] == 1
+        assert perf.gauges["replay.peak_rss_bytes"] > 1_000_000
+
+    def test_streamed_instrumented_run_drains_multiple_chunks(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            small_spec(systems=("lazyctrl-dynamic",)),
+            traffic=TraceSpec.realistic(total_flows=2000, seed=7),
+            stream=True,
+        )
+        result = ScenarioRunner().run(spec, collect_perf=True)
+        perf = result.runs["lazyctrl-dynamic"].perf
+        # 2000 flows over a 24 h generation grid: one chunk per diurnal hour
+        # falls inside the 2 h replay window plus the terminating peek.
+        assert perf.counters["replay.chunks_drained"] >= 2
+        assert perf.counters["replay.flows_replayed"] > 0
 
 
 def payload(scenario="s", runtime=10.0, fps=1000.0, requests=50):
@@ -208,6 +254,28 @@ class TestBaselineComparison:
 
     def test_custom_tolerance(self):
         assert compare_payloads(payload(runtime=14.0), payload(runtime=10.0), tolerance=0.5).ok
+
+    def test_peak_rss_blowup_notes_but_never_fails(self):
+        current, baseline = payload(), payload()
+        baseline["peak_rss_bytes"] = 50_000_000
+        current["peak_rss_bytes"] = 500_000_000
+        check = compare_payloads(current, baseline)
+        assert check.ok
+        assert any("peak_rss_bytes" in note for note in check.notes)
+
+    def test_peak_rss_within_band_is_silent(self):
+        current, baseline = payload(), payload()
+        baseline["peak_rss_bytes"] = 50_000_000
+        current["peak_rss_bytes"] = 55_000_000
+        check = compare_payloads(current, baseline)
+        assert check.ok
+        assert check.notes == []
+
+    def test_peak_rss_absent_from_baseline_is_ignored(self):
+        current = payload()
+        current["peak_rss_bytes"] = 500_000_000
+        check = compare_payloads(current, payload())
+        assert check.ok and check.notes == []
 
     def test_missing_system_fails(self):
         current = payload()

@@ -1,5 +1,6 @@
 """Tests for the Scenario API: specs, the registry, the runner and presets."""
 
+import dataclasses
 import json
 
 import pytest
@@ -45,6 +46,17 @@ class TestScenarioSpec:
     def test_dict_round_trip(self):
         spec = tiny_spec()
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_stream_flag_round_trips(self):
+        spec = dataclasses.replace(tiny_spec(), stream=True)
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.stream is True
+        assert rebuilt == spec
+
+    def test_spec_json_without_stream_key_defaults_to_materialized(self):
+        data = tiny_spec().to_dict()
+        del data["stream"]
+        assert ScenarioSpec.from_dict(data).stream is False
 
     def test_json_round_trip_through_serialized_text(self):
         spec = tiny_spec(
@@ -222,6 +234,12 @@ class TestRunner:
     def test_run_many_empty(self):
         assert ScenarioRunner().run_many([]) == []
 
+    def test_run_many_empty_with_parallel_workers(self):
+        """Regression: an empty spec list with workers >= 2 must return []
+        instead of reaching ``Pool(processes=0)`` (which raises ValueError)."""
+        assert ScenarioRunner().run_many([], workers=4) == []
+        assert ScenarioRunner().run_many(iter(()), workers=2) == []
+
     def test_run_many_rejects_negative_workers(self):
         with pytest.raises(ConfigurationError):
             ScenarioRunner().run_many([tiny_spec()], workers=-1)
@@ -285,6 +303,13 @@ class TestPresets:
 
     def test_scale_sweep_is_a_fan_out(self):
         assert len(get_preset("scale-sweep").specs()) == 3
+
+    def test_paper_fig7_10m_preset_is_streaming_at_scale(self):
+        (spec,) = get_preset("paper-fig7-10m").specs()
+        assert spec.stream is True
+        assert spec.traffic.total_flows == 10_000_000
+        # One system keeps the smoke affordable; the spec stays overridable.
+        assert spec.systems == ("lazyctrl-dynamic",)
 
 
 class TestRunResultSerialization:

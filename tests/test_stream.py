@@ -1,0 +1,322 @@
+"""Unit tests for the chunked flow-stream pipeline (repro.traffic.stream)."""
+
+import pytest
+
+from repro.common.errors import TrafficError
+from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
+from repro.traffic.flow import FlowRecord
+from repro.traffic.models import (
+    IncastHotspotParams,
+    UniformBackgroundParams,
+    stream_incast_hotspot,
+    stream_uniform_background,
+)
+from repro.traffic.realistic import RealisticTraceGenerator, RealisticTraceProfile
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.stream import (
+    ChunkWindow,
+    GeneratedStream,
+    MaterializedStream,
+    MergedStream,
+    TraceStatistics,
+    allocate_counts,
+    plan_windows,
+    uniform_spans,
+    windowed_chunks,
+)
+from repro.traffic.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_multi_tenant_datacenter(
+        TopologyProfile(switch_count=6, host_count=60, seed=9, home_switches_per_tenant=2)
+    )
+
+
+def flow(t: float, src: int = 0, dst: int = 1, flow_id: int = 0) -> FlowRecord:
+    return FlowRecord(start_time=t, flow_id=flow_id, src_host_id=src, dst_host_id=dst)
+
+
+class TestAllocateCounts:
+    def test_sums_exactly(self):
+        assert sum(allocate_counts(1000, [0.3, 0.3, 0.4])) == 1000
+
+    def test_proportional(self):
+        assert allocate_counts(100, [1.0, 3.0]) == [25, 75]
+
+    def test_largest_remainder(self):
+        # Shares 3.33.. each: two units of leftover go to the largest remainders.
+        counts = allocate_counts(10, [1.0, 1.0, 1.0])
+        assert sorted(counts) == [3, 3, 4]
+        assert sum(counts) == 10
+
+    def test_zero_total(self):
+        assert allocate_counts(0, [1.0, 2.0]) == [0, 0]
+
+    def test_zero_weights(self):
+        assert allocate_counts(10, [0.0, 0.0]) == [0, 0]
+
+    def test_deterministic(self):
+        weights = [0.7, 1.3, 2.1, 0.9]
+        assert allocate_counts(987, weights) == allocate_counts(987, weights)
+
+
+class TestPlanWindows:
+    def test_single_span_subdivided_by_target(self):
+        windows = plan_windows(uniform_spans(3600.0), 1000, target_flows=300)
+        assert sum(window.flow_count for window in windows) == 1000
+        assert windows[0].start == 0.0
+        assert windows[-1].end == 3600.0
+        assert len(windows) == 4  # ceil(1000 / 300)
+
+    def test_windows_are_consecutive(self):
+        windows = plan_windows([(0.0, 100.0, 1.0), (100.0, 300.0, 3.0)], 4000, target_flows=500)
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.end == later.start
+        assert [window.index for window in windows] == list(range(len(windows)))
+
+    def test_weighted_spans(self):
+        windows = plan_windows([(0.0, 1.0, 1.0), (1.0, 2.0, 3.0)], 400, target_flows=1000)
+        assert [window.flow_count for window in windows] == [100, 300]
+
+
+class TestGeneratedStream:
+    def _stream(self, network, total=500):
+        params = UniformBackgroundParams(total_flows=total, duration_hours=2.0, seed=4)
+        return stream_uniform_background(network, params)
+
+    def test_total_flows_exact(self, network):
+        stream = self._stream(network)
+        assert stream.total_flows == 500
+        assert sum(len(chunk) for chunk in stream.chunks()) == 500
+
+    def test_flow_ids_ascend_across_chunks(self, network):
+        flows = list(self._stream(network))
+        assert [record.flow_id for record in flows] == list(range(500))
+
+    def test_chunks_time_ordered(self, network):
+        previous_end = None
+        for chunk in self._stream(network).chunks():
+            times = [record.start_time for record in chunk]
+            assert times == sorted(times)
+            if previous_end is not None:
+                assert times[0] >= previous_end
+            previous_end = times[-1]
+
+    def test_reiterable_and_deterministic(self, network):
+        stream = self._stream(network)
+        assert list(stream) == list(stream)
+        assert list(stream) == list(self._stream(network))
+
+    def test_materialize_equals_iteration(self, network):
+        stream = self._stream(network)
+        trace = stream.materialize()
+        assert list(trace) == list(stream)
+        assert trace.name == stream.name
+
+    def test_duration_is_nominal(self, network):
+        assert self._stream(network).duration == 2.0 * 3600.0
+
+    def test_narrow_burst_keeps_chunks_near_target(self, network):
+        """A burst window concentrating most flows into a sliver of the day
+        must not blow individual chunks past the O(chunk) target."""
+        from repro.traffic.stream import CHUNK_TARGET_FLOWS
+
+        params = IncastHotspotParams(
+            total_flows=200_000,
+            duration_hours=24.0,
+            hotspot_flow_fraction=0.7,
+            burst_window_hours=(8.0, 9.0),
+            seed=6,
+        )
+        stream = stream_incast_hotspot(network, params)
+        sizes = [len(chunk) for chunk in stream.chunks()]
+        assert sum(sizes) == 200_000
+        assert max(sizes) <= CHUNK_TARGET_FLOWS * 1.2
+
+
+class TestMaterializedStream:
+    def test_chunks_cover_all_flows(self, network):
+        flows = [flow(float(i), flow_id=i) for i in range(10)]
+        stream = MaterializedStream("m", network, flows, chunk_flows=3)
+        chunks = list(stream.chunks())
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+        assert [record.flow_id for chunk in chunks for record in chunk] == list(range(10))
+
+    def test_from_trace_shares_flows(self, network):
+        trace = Trace("t", network, [flow(1.0), flow(2.0, flow_id=1)])
+        stream = MaterializedStream.from_trace(trace)
+        assert list(stream) == list(trace)
+        assert stream.duration == trace.duration
+        assert stream.total_flows == 2
+
+    def test_rejects_bad_chunk_size(self, network):
+        with pytest.raises(Exception):
+            MaterializedStream("m", network, [], chunk_flows=0)
+
+
+class TestMergedStream:
+    def test_merges_in_time_order_and_renumbers(self, network):
+        a = MaterializedStream("a", network, [flow(1.0), flow(5.0, flow_id=1)])
+        b = MaterializedStream("b", network, [flow(2.0, src=2, dst=3), flow(4.0, src=2, dst=3, flow_id=1)])
+        merged = MergedStream("mix", network, [(a, 0.0, 10.0), (b, 0.0, 10.0)], duration=10.0)
+        flows = list(merged)
+        assert [record.start_time for record in flows] == [1.0, 2.0, 4.0, 5.0]
+        assert [record.flow_id for record in flows] == [0, 1, 2, 3]
+
+    def test_offset_shifts_component_timeline(self, network):
+        a = MaterializedStream("a", network, [flow(1.0)])
+        merged = MergedStream("mix", network, [(a, 100.0, 10.0)], duration=110.0)
+        assert [record.start_time for record in merged] == [101.0]
+
+    def test_clips_flows_past_component_span(self, network):
+        a = MaterializedStream("a", network, [flow(1.0), flow(50.0, flow_id=1)])
+        merged = MergedStream("mix", network, [(a, 0.0, 10.0)], duration=10.0)
+        assert [record.start_time for record in merged] == [1.0]
+
+    def test_chunking_by_count(self, network):
+        a = MaterializedStream("a", network, [flow(float(i), flow_id=i) for i in range(7)])
+        merged = MergedStream("mix", network, [(a, 0.0, 100.0)], duration=100.0, chunk_flows=3)
+        assert [len(chunk) for chunk in merged.chunks()] == [3, 3, 1]
+
+    def test_empty_merge_raises_like_the_materialized_path(self, network):
+        """A mix whose every flow is clipped must fail, not silently replay nothing."""
+        a = MaterializedStream("a", network, [flow(50.0)])
+        merged = MergedStream("mix", network, [(a, 0.0, 10.0)], duration=10.0)
+        with pytest.raises(TrafficError):
+            list(merged.chunks())
+
+
+class TestTraceStatistics:
+    def test_matches_trace_views(self, network):
+        trace = RealisticTraceGenerator(
+            network, RealisticTraceProfile(total_flows=800, duration_hours=3.0, seed=5)
+        ).generate()
+        stats = TraceStatistics(network).observe_all(trace)
+        assert stats.flow_count == len(trace)
+        assert stats.pair_activity() == trace.pair_activity()
+        assert stats.hourly_flow_counts(hours=4) == trace.hourly_flow_counts(hours=4)
+        assert stats.communicating_pairs() == trace.communicating_pairs()
+        assert sorted(stats.intensity.pairs()) == sorted(trace.switch_intensity().pairs())
+
+    def test_track_pairs_off_rejects_pair_views(self, network):
+        stats = TraceStatistics(network, track_pairs=False)
+        with pytest.raises(Exception):
+            stats.pair_activity()
+        with pytest.raises(Exception):
+            stats.communicating_pairs()
+
+    def test_last_arrival(self, network):
+        stats = TraceStatistics(network).observe_all([flow(3.0), flow(9.0, flow_id=1)])
+        assert stats.last_arrival == 9.0
+
+
+class TestStreamIntensity:
+    def test_stream_switch_intensity_matches_trace(self, network):
+        params = UniformBackgroundParams(total_flows=600, duration_hours=2.0, seed=8)
+        stream = stream_uniform_background(network, params)
+        trace = Trace.from_stream(stream)
+        for start, end in ((0.0, None), (0.0, 1800.0), (900.0, 5400.0)):
+            stream_matrix = stream.switch_intensity(start=start, end=end)
+            trace_matrix = trace.switch_intensity(start=start, end=end)
+            assert sorted(stream_matrix.pairs()) == sorted(trace_matrix.pairs())
+
+
+class TestWindowedChunks:
+    def test_trims_boundaries(self, network):
+        flows = [flow(float(i), flow_id=i) for i in range(10)]
+        stream = MaterializedStream("m", network, flows, chunk_flows=4)
+        windowed = [record.flow_id for chunk in windowed_chunks(stream, start=3.0, end=7.0) for record in chunk]
+        assert windowed == [3, 4, 5, 6]
+
+    def test_stops_generating_past_end(self, network):
+        seen = []
+
+        class Probe(MaterializedStream):
+            def chunks(self):
+                for chunk in super().chunks():
+                    seen.append(chunk[0].flow_id)
+                    yield chunk
+
+        flows = [flow(float(i), flow_id=i) for i in range(100)]
+        stream = Probe("m", network, flows, chunk_flows=10)
+        list(windowed_chunks(stream, start=0.0, end=15.0))
+        # Chunks are abandoned at the first one starting at/past the end:
+        # chunk 0 (flows 0-9), chunk 1 (10-19, trimmed), chunk 2 (peeked, dropped).
+        assert seen == [0, 10, 20]
+
+
+class _RecordingSink:
+    def __init__(self):
+        self.seen = []
+
+    def handle_flow_arrival(self, flow, now):
+        self.seen.append((flow.flow_id, now))
+
+
+class TestReplayerOnStreams:
+    def test_stream_replay_equals_trace_replay(self, network):
+        params = UniformBackgroundParams(total_flows=400, duration_hours=1.0, seed=3)
+        stream = stream_uniform_background(network, params)
+        trace = Trace.from_stream(stream)
+
+        def run(source):
+            sink = _RecordingSink()
+            ticks = []
+            progress = TraceReplayer(
+                source, sink, periodic_interval=120.0, periodic_callbacks=[ticks.append]
+            ).replay(start=0.0, end=3600.0)
+            return sink.seen, ticks, progress.flows_replayed, progress.periodic_invocations
+
+        assert run(stream) == run(trace)
+
+    def test_stream_replay_default_window_stops_at_last_arrival(self, network):
+        flows = [flow(10.0, flow_id=0), flow(250.0, flow_id=1)]
+        stream = MaterializedStream("m", network, flows, chunk_flows=1, duration=3600.0)
+        ticks = []
+        progress = TraceReplayer(
+            stream, _RecordingSink(), periodic_interval=100.0, periodic_callbacks=[ticks.append]
+        ).replay()
+        assert progress.end_time == 250.0
+        assert ticks == [100.0, 200.0]
+
+    def test_chunks_drained_counted(self, network):
+        flows = [flow(float(i), flow_id=i) for i in range(10)]
+        stream = MaterializedStream("m", network, flows, chunk_flows=4)
+        progress = TraceReplayer(stream, _RecordingSink(), periodic_interval=1000.0).replay()
+        assert progress.chunks_drained == 3
+        trace = Trace("t", network, flows)
+        assert TraceReplayer(trace, _RecordingSink(), periodic_interval=1000.0).replay().chunks_drained == 1
+
+    def test_ticks_fire_in_chunk_gaps(self, network):
+        # A tick scheduled between two chunks fires before the later chunk's flows.
+        flows = [flow(10.0, flow_id=0), flow(350.0, flow_id=1)]
+        stream = MaterializedStream("m", network, flows, chunk_flows=1)
+        events = []
+        sink = _RecordingSink()
+        sink.handle_flow_arrival = lambda f, now: events.append(("flow", now))
+        TraceReplayer(
+            stream, sink, periodic_interval=100.0,
+            periodic_callbacks=[lambda now: events.append(("tick", now))],
+        ).replay(start=0.0, end=400.0)
+        assert events == [
+            ("flow", 10.0),
+            ("tick", 100.0), ("tick", 200.0), ("tick", 300.0),
+            ("flow", 350.0),
+            ("tick", 400.0),
+        ]
+
+
+class TestGeneratedStreamInternals:
+    def test_emit_draws_are_sorted_canonically(self, network):
+        # Two flows at the same timestamp sort by endpoints, then payload.
+        windows = [ChunkWindow(index=0, start=0.0, end=10.0, counts=(2,))]
+        draws = [(5.0, 3, 4, 1, 1400, 0.05), (5.0, 1, 2, 1, 1400, 0.05)]
+
+        stream = GeneratedStream(
+            "s", network, windows, lambda rng, window: list(draws),
+            seed=1, rng_label="test", duration=10.0,
+        )
+        flows = list(stream)
+        assert [(record.src_host_id, record.flow_id) for record in flows] == [(1, 0), (3, 1)]

@@ -85,6 +85,26 @@ class TestTrace:
         matrix = trace.switch_intensity()
         assert matrix.intensity(host_a.switch_id, host_b.switch_id) == 1.0
 
+    def test_switch_intensity_includes_flow_at_exact_duration(self, tiny_network):
+        """A flow arriving exactly at ``duration`` is counted once by the default window."""
+        host_a = tiny_network.hosts()[0]
+        host_b = next(h for h in tiny_network.hosts() if h.switch_id != host_a.switch_id)
+        trace = Trace(
+            "t",
+            tiny_network,
+            [
+                flow(0.0, host_a.host_id, host_b.host_id, 1),
+                flow(100.0, host_a.host_id, host_b.host_id, 2),
+            ],
+        )
+        assert trace.duration == 100.0
+        # Default window: inclusive of the last arrival, counted exactly once.
+        assert trace.switch_intensity().intensity(host_a.switch_id, host_b.switch_id) == 2.0
+        # An explicit end keeps half-open semantics: the boundary flow is out.
+        assert trace.switch_intensity(end=100.0).intensity(host_a.switch_id, host_b.switch_id) == 1.0
+        # ...and an explicit end just past it includes it exactly once.
+        assert trace.switch_intensity(end=100.0 + 1e-9).intensity(host_a.switch_id, host_b.switch_id) == 2.0
+
     def test_hourly_flow_counts(self, tiny_network):
         flows = [flow(10.0, 0, 1, 1), flow(3700.0, 0, 1, 2), flow(3800.0, 2, 3, 3)]
         trace = Trace("t", tiny_network, flows)
@@ -100,12 +120,22 @@ class TestTrace:
         sub = trace.subtrace(start=2.0, end=4.0)
         assert len(sub) == 2
 
-    def test_merge_requires_same_network(self, tiny_network):
+    def test_merge_rejects_different_topologies(self, tiny_network):
         other_network = build_multi_tenant_datacenter(TopologyProfile(switch_count=4, host_count=40, seed=2))
         a = Trace("a", tiny_network, [flow(0.0, 0, 1, 1)])
         b = Trace("b", other_network, [flow(0.0, 0, 1, 1)])
         with pytest.raises(TrafficError):
             a.merged_with(b)
+
+    def test_merge_accepts_structurally_equal_network(self, tiny_network):
+        """Traces rebuilt from the same spec merge despite distinct network objects."""
+        rebuilt = build_multi_tenant_datacenter(TopologyProfile(switch_count=4, host_count=40, seed=1))
+        assert rebuilt is not tiny_network
+        a = Trace("a", tiny_network, [flow(0.0, 0, 1, 1)])
+        b = Trace("b", rebuilt, [flow(1.0, 2, 3, 2)])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.network is tiny_network
 
     def test_merge(self, tiny_network):
         a = Trace("a", tiny_network, [flow(0.0, 0, 1, 1)])
