@@ -9,6 +9,7 @@ Seven subcommands cover the everyday workflow::
     python -m repro list-scenarios                       # presets + control planes
     python -m repro list-traffic-models                  # registered trace generators
     python -m repro list-topologies                      # registered topology shapes
+    python -m repro list-table-policies                  # flow-table timeout policies
     python -m repro bench --out-dir bench-out            # machine-readable benchmarks
     python -m repro bench --check                        # gate on committed baselines
     python -m repro profile paper-fig7 --flows 2000      # per-stage perf breakdown
@@ -18,6 +19,7 @@ JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
 spec fields can be overridden from the command line (``--flows``,
 ``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``,
 ``--traffic``, ``--topology``, ``--churn-rate``, ``--churn-seed``,
+``--table-capacity``/``--table-policy`` for finite-flow-table pressure,
 ``--stream`` for the bounded-memory chunked replay path) and
 multi-scenario presets fan out over ``--workers`` processes.  ``--traffic``
 and ``--topology`` swap in any registered traffic model or topology shape by
@@ -51,6 +53,8 @@ from repro.core.scenario import ScenarioSpec, TopologySpec, TraceSpec
 from repro.perf.baseline import check_against_baselines
 from repro.perf.recorder import peak_rss_bytes
 from repro.perf.report import format_stage_breakdown
+from repro.tables.registry import available_table_policies
+from repro.tables.spec import TableSpec
 from repro.topology.registry import available_topologies
 from repro.traffic.registry import available_traffic_models
 
@@ -60,7 +64,7 @@ BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
 #: Scale-smoke presets benchmarked by their own (non-gating) CI job rather
 #: than the default list: they take minutes, so a full default run must not
 #: flag their committed baselines as stale.
-SMOKE_BENCH_PRESETS = ("paper-fig7-10m",)
+SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "table-pressure")
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -163,6 +167,15 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
     if getattr(args, "stream", None) is not None:
         stream = args.stream
 
+    tables = spec.tables
+    if getattr(args, "table_policy", None) is not None:
+        # Swapping the policy drops the old policy's params (they rarely
+        # transfer between policies) but keeps capacity/timeout overrides.
+        base = tables or TableSpec()
+        tables = dataclasses.replace(base, policy=args.table_policy, params={})
+    if getattr(args, "table_capacity", None) is not None:
+        tables = dataclasses.replace(tables or TableSpec(), capacity=args.table_capacity)
+
     churn = spec.churn
     if getattr(args, "churn_rate", None) is not None:
         if args.churn_rate == 0:
@@ -190,6 +203,7 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         config=config,
         churn=churn,
         stream=stream,
+        tables=tables,
     )
 
 
@@ -298,7 +312,7 @@ def _bench_payload(
     for name, run in result.runs.items():
         flows_handled = run.counters.flows_handled + run.counters.departed_flows
         total_flows_replayed += flows_handled
-        systems[name] = {
+        record = {
             "label": run.label,
             "flows_handled": flows_handled,
             "total_controller_requests": run.total_controller_requests,
@@ -311,6 +325,18 @@ def _bench_payload(
                 run.churn.churn_attributed_regroupings if run.churn is not None else 0
             ),
         }
+        if run.tables is not None:
+            record.update(
+                {
+                    "table_overflows": run.tables.overflows,
+                    "table_evictions": run.tables.evictions,
+                    "table_timeouts": run.tables.idle_timeouts + run.tables.hard_timeouts,
+                    "table_reinstalls": run.tables.reinstalls,
+                    "table_peak_occupancy": run.tables.peak_occupancy,
+                    "flow_removed_messages": run.tables.flow_removed_messages,
+                }
+            )
+        systems[name] = record
     switches, hosts = result.spec.topology.dimensions()
     return {
         "scenario": result.spec.name,
@@ -477,6 +503,11 @@ def _cmd_list_topologies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_table_policies(args: argparse.Namespace) -> int:
+    _print_registry_table(available_table_policies(), "Registered flow-table policies")
+    return 0
+
+
 def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     """Spec-override flags shared by ``run`` and ``bench``."""
     parser.add_argument("--flows", type=int, default=None, help="override total flow count")
@@ -510,6 +541,17 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--churn-seed", type=int, default=None, help="override the churn RNG seed"
+    )
+    parser.add_argument(
+        "--table-capacity",
+        type=int,
+        default=None,
+        help="cap every switch's flow table at this many rules",
+    )
+    parser.add_argument(
+        "--table-policy",
+        default=None,
+        help="timeout/eviction policy for the flow tables (see list-table-policies)",
     )
 
 
@@ -587,6 +629,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-topologies", help="list registered topology shapes and their params"
     )
     list_topologies.set_defaults(handler=_cmd_list_topologies)
+
+    list_tables = subparsers.add_parser(
+        "list-table-policies", help="list registered flow-table timeout/eviction policies"
+    )
+    list_tables.set_defaults(handler=_cmd_list_table_policies)
     return parser
 
 

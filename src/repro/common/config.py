@@ -10,8 +10,10 @@ calibration, Bloom-filter sizing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Dict
 
 from repro.common.errors import ConfigurationError
+from repro.common.serialize import to_jsonable
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,19 +136,54 @@ class LatencyModelConfig:
 
 @dataclass(frozen=True, slots=True)
 class FlowTableConfig:
-    """Capacity and timeout behaviour of edge-switch flow tables."""
+    """Capacity and timeout behaviour of edge-switch flow tables.
+
+    ``policy`` names a registered timeout/eviction policy (see
+    :mod:`repro.tables.registry`); ``policy_params`` is the raw JSON-shaped
+    mapping validated into the policy's params dataclass when the table is
+    built.  Policies that take an idle or hard timeout default to the
+    ``idle_timeout_seconds`` / ``hard_timeout_seconds`` configured here, so
+    the table-wide knobs keep working without per-policy params.
+
+    ``hard_timeout_seconds`` of ``None`` disables the hard timeout (rules
+    only expire when idle).  ``sweep_interval_seconds`` bounds how often the
+    periodic housekeeping tick eagerly sweeps expired rules out of every
+    table (expiry is additionally enforced lazily on lookup either way).
+    """
 
     capacity: int = 4096
     idle_timeout_seconds: float = 60.0
+    hard_timeout_seconds: float | None = None
     eviction_batch: int = 64
+    sweep_interval_seconds: float = 300.0
+    policy: str = "static-idle"
+    policy_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ConfigurationError("flow table capacity must be positive")
         if self.idle_timeout_seconds <= 0:
             raise ConfigurationError("idle_timeout_seconds must be positive")
+        if self.hard_timeout_seconds is not None:
+            if self.hard_timeout_seconds <= 0:
+                raise ConfigurationError("hard_timeout_seconds must be positive when set")
+            if self.hard_timeout_seconds < self.idle_timeout_seconds:
+                raise ConfigurationError(
+                    "hard_timeout_seconds must be >= idle_timeout_seconds "
+                    f"({self.hard_timeout_seconds} < {self.idle_timeout_seconds}): a rule "
+                    "would hard-expire before it could ever idle out"
+                )
         if self.eviction_batch <= 0:
             raise ConfigurationError("eviction_batch must be positive")
+        if self.eviction_batch > self.capacity:
+            raise ConfigurationError(
+                f"eviction_batch must not exceed capacity ({self.eviction_batch} > {self.capacity})"
+            )
+        if self.sweep_interval_seconds <= 0:
+            raise ConfigurationError("sweep_interval_seconds must be positive")
+        if not self.policy or not self.policy.strip():
+            raise ConfigurationError("flow table policy must be a non-empty string")
+        object.__setattr__(self, "policy_params", dict(to_jsonable(dict(self.policy_params))))
 
 
 @dataclass(frozen=True, slots=True)

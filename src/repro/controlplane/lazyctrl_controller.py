@@ -82,12 +82,14 @@ class LazyCtrlController:
         self.arp_relays = 0
         self.group_config_messages = 0
         self.regroupings_applied = 0
+        self.flow_removed_received = 0
 
     # -- switch registration ----------------------------------------------------
 
     def register_switch(self, switch: LazyCtrlEdgeSwitch) -> None:
         """Connect an edge switch to the controller via a control link."""
         self._switches[switch.switch_id] = switch
+        switch.flow_removed_handler = self.handle_flow_removed
         self._channels.get_or_create(ChannelType.CONTROL_LINK, "controller", f"switch:{switch.switch_id}")
         self.grouping_manager.register_switches([switch.switch_id])
 
@@ -289,6 +291,17 @@ class LazyCtrlController:
             action = FlowAction(ActionType.ENCAP_TO_SWITCH, egress_switch_id)
         switch.install_flow_rule(key, action, now=now)
         self.flow_mods_sent += 1
+
+    def handle_flow_removed(self, switch_id: int, rule, now: float, reason) -> None:
+        """Note a ``flow_removed`` sent by a switch whose table aged out a rule.
+
+        The notification is asynchronous bookkeeping, not a request for new
+        state: it is counted separately from ``total_requests`` so finite
+        tables change the controller's *re-install* load (via the subsequent
+        ``packet_in``), never the workload accounting of the removal itself.
+        """
+        self.flow_removed_received += 1
+        self.perf.count("controller.flow_removed")
 
     # -- workload accounting --------------------------------------------------------------------
 

@@ -43,12 +43,14 @@ class OpenFlowController:
         self.total_requests = 0
         self.arp_floods = 0
         self.flow_mods_sent = 0
+        self.flow_removed_received = 0
 
     # -- switch registration ---------------------------------------------------
 
     def register_switch(self, switch: OpenFlowEdgeSwitch) -> None:
         """Connect an edge switch to the controller."""
         self._switches[switch.switch_id] = switch
+        switch.flow_removed_handler = self.handle_flow_removed
 
     def switch(self, switch_id: int) -> OpenFlowEdgeSwitch:
         """Return a registered switch by id."""
@@ -121,6 +123,16 @@ class OpenFlowController:
             needed_location_learning=needed_learning,
             installed_rule=installed,
         )
+
+    def handle_flow_removed(self, switch_id: int, rule, now: float, reason) -> None:
+        """Note a ``flow_removed`` from a switch whose table aged out a rule.
+
+        Counted separately from ``total_requests``: the removal itself is
+        bookkeeping; the cost of finite tables shows up as the re-install
+        ``Packet_In`` the next packet of the flow triggers.
+        """
+        self.flow_removed_received += 1
+        self.perf.count("controller.flow_removed")
 
     # -- helpers ---------------------------------------------------------------
 

@@ -21,6 +21,11 @@ under a memorable name:
 * ``traffic-mix`` — a composed workload: diurnal realistic baseline, an
   elephant/mice overlay through business hours and a 9-11 am incast burst
   (the registry-composition showcase);
+* ``table-pressure`` — one million streamed flows against 32-entry flow
+  tables: the overflow/eviction/re-install comparison axis the paper never
+  ran (LazyCtrl's lazy rule installs vs OpenFlow's rule-per-flow);
+* ``timeout-sweep`` — the same pressured workload under each built-in
+  timeout/eviction policy (static idle, idle+hard hybrid, LRU, adaptive);
 * ``striped-antilocal`` — the realistic trace on the anti-local striped
   topology, the adversarial placement that defeats switch grouping;
 * ``multi-pod-shuffle`` — shuffle waves plus uniform background on a
@@ -47,6 +52,7 @@ from repro.core.scenario import (
     TopologySpec,
     TraceSpec,
 )
+from repro.tables.spec import TableSpec
 from repro.topology.builder import TopologyProfile
 from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec
 
@@ -218,6 +224,72 @@ def _traffic_mix() -> Tuple[ScenarioSpec, ...]:
     )
 
 
+def _table_pressure() -> Tuple[ScenarioSpec, ...]:
+    """One million streamed flows against 32-entry tables.
+
+    The capacity sits between the two systems' steady occupancy: the
+    baseline's one-rule-per-flow tables peak above it (constant overflow
+    evictions and ``packet_in`` re-installs), while LazyCtrl — which only
+    installs rules for inter-group flows — stays comfortably under.  This is
+    the comparison axis the paper never ran: how the two control models
+    degrade when TCAM space, not controller CPU, is the bottleneck.
+    """
+    return (
+        ScenarioSpec(
+            name="table-pressure",
+            topology=TopologyProfile(switch_count=48, host_count=600, seed=2015),
+            traffic=TraceSpec.realistic(total_flows=1_000_000, seed=2015),
+            systems=("openflow", "lazyctrl-dynamic"),
+            config=default_grouping_config(48),
+            stream=True,
+            tables=TableSpec(
+                capacity=32,
+                policy="idle-hard-hybrid",
+                idle_timeout_seconds=1800.0,
+                hard_timeout_seconds=7200.0,
+            ),
+        ),
+    )
+
+
+def _timeout_sweep() -> Tuple[ScenarioSpec, ...]:
+    """The same pressured workload under each built-in timeout policy.
+
+    Tiny 64-entry tables put every policy's trade-off on display: static
+    idle holds rules a fixed time, the hybrid caps rule lifetime, LRU never
+    times out and lives off eviction alone, and the adaptive predictor
+    tightens timeouts for one-shot flows while keeping periodic ones
+    resident.  Compare overflow/re-install counts across the four runs.
+    """
+    policies = (
+        TableSpec(capacity=64, policy="static-idle", idle_timeout_seconds=1800.0),
+        TableSpec(
+            capacity=64,
+            policy="idle-hard-hybrid",
+            idle_timeout_seconds=1800.0,
+            hard_timeout_seconds=7200.0,
+        ),
+        TableSpec(capacity=64, policy="lru"),
+        TableSpec(
+            capacity=64,
+            policy="adaptive",
+            idle_timeout_seconds=1800.0,
+            params={"min_timeout_seconds": 60.0, "max_timeout_seconds": 3600.0},
+        ),
+    )
+    return tuple(
+        ScenarioSpec(
+            name=f"timeout-sweep-{tables.policy}",
+            topology=TopologyProfile(switch_count=24, host_count=320, seed=2015),
+            traffic=TraceSpec.realistic(total_flows=40_000, seed=2015),
+            systems=("openflow", "lazyctrl-dynamic"),
+            config=default_grouping_config(24),
+            tables=tables,
+        )
+        for tables in policies
+    )
+
+
 def _striped_antilocal() -> Tuple[ScenarioSpec, ...]:
     return (
         ScenarioSpec(
@@ -305,6 +377,16 @@ _PRESETS: Dict[str, Preset] = {
             name="traffic-mix",
             description="Composed mix: realistic baseline + elephant/mice overlay + 9-11am incast burst",
             build=_traffic_mix,
+        ),
+        Preset(
+            name="table-pressure",
+            description="1M streamed flows vs 32-entry tables: overflow/re-install under finite TCAMs",
+            build=_table_pressure,
+        ),
+        Preset(
+            name="timeout-sweep",
+            description="Same pressured workload under each timeout policy (64-entry tables)",
+            build=_timeout_sweep,
         ),
         Preset(
             name="striped-antilocal",

@@ -110,6 +110,31 @@ class LatencySeriesResult:
 
 
 @dataclass(frozen=True, slots=True)
+class TableUsageResult:
+    """Flow-table pressure accounting aggregated over a system's switches.
+
+    ``capacity`` and ``policy`` describe the per-switch tables;
+    ``peak_occupancy`` is the highest rule count any single switch reached
+    (directly comparable against ``capacity``); the remaining fields sum the
+    per-switch :class:`~repro.datastructures.flow_table.FlowTableStats` plus
+    the controller's ``flow_removed`` tally, exposing the whole
+    eviction → ``flow_removed`` → ``packet_in`` re-install loop.
+    """
+
+    capacity: int
+    policy: str
+    installs: int
+    overflows: int
+    evictions: int
+    idle_timeouts: int
+    hard_timeouts: int
+    reinstalls: int
+    flow_removed_messages: int
+    peak_occupancy: int
+    final_occupancy: int
+
+
+@dataclass(frozen=True, slots=True)
 class RunResult:
     """Everything measured for one (control plane, trace) combination."""
 
@@ -124,6 +149,9 @@ class RunResult:
     # Present only when the run was instrumented (repro profile / bench);
     # an uninstrumented run serializes exactly as before.
     perf: Optional[PerfSnapshot] = None
+    # Flow-table pressure accounting; None for systems predating the field
+    # (old serialized results load with tables omitted).
+    tables: Optional[TableUsageResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of this run."""

@@ -141,6 +141,12 @@ class ScenarioRunner:
         """
         # Resolve every name up front so a typo fails before minutes of replay.
         entries = [get_control_plane(name) for name in spec.systems]
+        # Fold the finite-table overlay (capacity + policy) into the config
+        # all systems run with; also resolves the policy name so a typo in
+        # ``spec.tables`` fails before minutes of replay.
+        config = spec.effective_config()
+        if spec.tables is not None:
+            spec.tables.resolved_params()
         base_trace = None if spec.stream else spec.build_trace(spec.build_network())
         runs: Dict[str, RunResult] = {}
         for entry in entries:
@@ -163,7 +169,7 @@ class ScenarioRunner:
                 entry.name,
                 system_trace,
                 schedule=spec.schedule,
-                config=spec.config,
+                config=config,
                 failures=spec.failures,
                 churn=spec.churn,
                 perf=PerfRecorder() if collect_perf else None,
@@ -352,6 +358,7 @@ class ScenarioRunner:
             failover_events=injector.events if injector is not None else 0,
             churn=churn_result,
             perf=perf_snapshot,
+            tables=plane.table_usage() if hasattr(plane, "table_usage") else None,
         )
 
 

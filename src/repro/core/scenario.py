@@ -37,6 +37,7 @@ from repro.churn.spec import ChurnSpec
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict, to_jsonable
+from repro.tables.spec import TableSpec
 from repro.topology.builder import TopologyProfile
 from repro.topology.network import DataCenterNetwork
 from repro.topology.registry import TopologyEntry, get_topology
@@ -336,6 +337,10 @@ class ScenarioSpec:
     failures: Optional[FailureInjectionSpec] = None
     churn: Optional[ChurnSpec] = None
     stream: bool = False
+    # Finite-table overlay: capacity plus a registered timeout/eviction
+    # policy, applied on top of ``config.flow_table`` at build time.  ``None``
+    # leaves the config's flow-table settings untouched.
+    tables: Optional[TableSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
@@ -361,6 +366,12 @@ class ScenarioSpec:
     def churn_active(self) -> bool:
         """Whether this scenario applies workload dynamics during the replay."""
         return self.churn is not None and self.churn.active
+
+    def effective_config(self) -> LazyCtrlConfig:
+        """The system config with the ``tables`` overlay (if any) folded in."""
+        if self.tables is None:
+            return self.config
+        return self.tables.apply(self.config)
 
     # -- materialization -----------------------------------------------------
 

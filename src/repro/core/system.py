@@ -20,13 +20,58 @@ from repro.controlplane.state_dissemination import StateDisseminator
 from repro.dataplane.decisions import ForwardingOutcome
 from repro.dataplane.edge_switch import LazyCtrlEdgeSwitch
 from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
-from repro.core.results import FlowHandlingResult, FlowPathKind, SystemCounters
+from repro.core.results import (
+    FlowHandlingResult,
+    FlowPathKind,
+    SystemCounters,
+    TableUsageResult,
+)
 from repro.partitioning.sgi import Grouping
 from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.latency import LatencyModel
 from repro.simulation.metrics import LatencyRecorder
 from repro.topology.network import DataCenterNetwork
 from repro.traffic.flow import FlowRecord
+
+
+def _aggregate_table_usage(config, tables, flow_removed_messages: int) -> TableUsageResult:
+    """Fold per-switch flow-table stats into one :class:`TableUsageResult`."""
+    installs = overflows = evictions = idle = hard = reinstalls = 0
+    peak = final = 0
+    for table in tables:
+        stats = table.stats
+        installs += stats.installs
+        overflows += stats.overflows
+        evictions += stats.evictions
+        idle += stats.timeouts
+        hard += stats.hard_timeouts
+        reinstalls += stats.reinstalls
+        peak = max(peak, stats.peak_occupancy)
+        final += len(table)
+    return TableUsageResult(
+        capacity=config.flow_table.capacity,
+        policy=config.flow_table.policy,
+        installs=installs,
+        overflows=overflows,
+        evictions=evictions,
+        idle_timeouts=idle,
+        hard_timeouts=hard,
+        reinstalls=reinstalls,
+        flow_removed_messages=flow_removed_messages,
+        peak_occupancy=peak,
+        final_occupancy=final,
+    )
+
+
+def _fold_table_counters(perf, usage: TableUsageResult) -> None:
+    """Expose table-pressure accounting through the perf registry."""
+    perf.count("edge.table_overflows", usage.overflows)
+    perf.count("edge.table_evictions", usage.evictions)
+    perf.count("edge.table_idle_timeouts", usage.idle_timeouts)
+    perf.count("edge.table_hard_timeouts", usage.hard_timeouts)
+    perf.count("edge.table_reinstalls", usage.reinstalls)
+    perf.gauge("edge.table_peak_occupancy", usage.peak_occupancy)
+    perf.gauge("edge.table_final_occupancy", usage.final_occupancy)
 
 
 class LazyCtrlSystem:
@@ -54,6 +99,7 @@ class LazyCtrlSystem:
         self.counters = SystemCounters()
         self.perf = NULL_RECORDER
         self.failover_records: List = []
+        self._last_table_sweep = 0.0
 
         for info in network.switches():
             switch = LazyCtrlEdgeSwitch(
@@ -179,12 +225,29 @@ class LazyCtrlSystem:
     # -- periodic housekeeping ---------------------------------------------------------
 
     def periodic(self, now: float) -> None:
-        """Periodic housekeeping: state reports and the regrouping check."""
+        """Periodic housekeeping: state reports, regrouping, table aging."""
         perf = self.perf
         with perf.timeit("dissemination"):
             self.controller.collect_state_reports(now=now)
         with perf.timeit("regrouping"):
             self.controller.periodic_check(now)
+        with perf.timeit("table_sweep"):
+            self._sweep_tables(now)
+
+    def _sweep_tables(self, now: float) -> None:
+        """Eagerly expire aged flow rules, at most once per sweep interval.
+
+        The periodic tick fires every couple of replay minutes; the sweep is
+        rate-limited by ``flow_table.sweep_interval_seconds`` so large
+        deployments do not walk every table on every tick.  Lookups expire
+        rules lazily in between, so the sweep only changes *when* a removal
+        is noticed, never whether it happens.
+        """
+        if now - self._last_table_sweep < self.config.flow_table.sweep_interval_seconds:
+            return
+        self._last_table_sweep = now
+        for switch in self.controller.switches():
+            switch.advance_tables(now)
 
     # -- ControlPlane protocol (runner-facing) ------------------------------------------
 
@@ -224,6 +287,15 @@ class LazyCtrlSystem:
         perf.count("controller.flow_mods", self.controller.flow_mods_sent)
         perf.count("controller.arp_relays", self.controller.arp_relays)
         perf.count("controller.group_config_messages", self.controller.group_config_messages)
+        _fold_table_counters(perf, self.table_usage())
+
+    def table_usage(self) -> TableUsageResult:
+        """Flow-table pressure accounting aggregated over all edge switches."""
+        return _aggregate_table_usage(
+            self.config,
+            (switch.flow_table for switch in self.controller.switches()),
+            self.controller.flow_removed_received,
+        )
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""
@@ -317,6 +389,7 @@ class OpenFlowSystem:
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
         self.perf = NULL_RECORDER
+        self._last_table_sweep = 0.0
 
         self._switches: Dict[int, OpenFlowEdgeSwitch] = {}
         for info in network.switches():
@@ -398,7 +471,13 @@ class OpenFlowSystem:
         )
 
     def periodic(self, now: float) -> None:
-        """The baseline has no periodic control-plane housekeeping to run."""
+        """Periodic housekeeping: the baseline only ages its flow tables."""
+        with self.perf.timeit("table_sweep"):
+            if now - self._last_table_sweep < self.config.flow_table.sweep_interval_seconds:
+                return
+            self._last_table_sweep = now
+            for switch in self._switches.values():
+                switch.advance_tables(now)
 
     # -- ControlPlane protocol (runner-facing) -----------------------------------------
 
@@ -427,6 +506,15 @@ class OpenFlowSystem:
         perf.count("edge.flow_table_misses", table_misses)
         perf.count("controller.flow_mods", self.controller.flow_mods_sent)
         perf.count("controller.arp_floods", self.controller.arp_floods)
+        _fold_table_counters(perf, self.table_usage())
+
+    def table_usage(self) -> TableUsageResult:
+        """Flow-table pressure accounting aggregated over all edge switches."""
+        return _aggregate_table_usage(
+            self.config,
+            (switch.flow_table for switch in self._switches.values()),
+            self.controller.flow_removed_received,
+        )
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""

@@ -16,15 +16,20 @@ simulation layer turns into latency and workload accounting.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.common.addresses import IpAddress, MacAddress
 from repro.common.config import BloomFilterConfig, FlowTableConfig
 from repro.common.errors import ControlPlaneError
 from repro.common.packets import EncapHeader, FlowKey, Packet, PacketKind
 from repro.datastructures.fib import FibEntry, GroupFib, LocalFib
-from repro.datastructures.flow_table import ActionType, FlowAction, FlowTable
+from repro.datastructures.flow_table import ActionType, FlowAction, FlowRule, FlowTable
 from repro.dataplane.decisions import ForwardingDecision, ForwardingOutcome
+from repro.tables.policies import RemovalReason
+
+#: Callback a controller registers to receive ``flow_removed`` notifications:
+#: ``(switch_id, rule, now, reason)``.
+FlowRemovedHandler = Callable[[int, FlowRule, float, RemovalReason], None]
 
 
 class LazyCtrlEdgeSwitch:
@@ -45,6 +50,8 @@ class LazyCtrlEdgeSwitch:
         self.lfib = LocalFib()
         self.gfib = GroupFib(bloom_config)
         self.flow_table = FlowTable(flow_table_config)
+        self.flow_table.removed_listener = self._on_rule_removed
+        self.flow_removed_handler: Optional[FlowRemovedHandler] = None
         self.group_id: Optional[int] = None
         self.is_designated = False
         self.failed = False
@@ -234,6 +241,20 @@ class LazyCtrlEdgeSwitch:
     def install_flow_rule(self, key: FlowKey, action: FlowAction, *, priority: int = 0, now: float = 0.0) -> None:
         """Install a controller-provided flow rule (Flow_Mod)."""
         self.flow_table.install(key, action, priority=priority, now=now)
+
+    def advance_tables(self, now: float) -> int:
+        """Eagerly expire aged flow rules at replay time ``now``.
+
+        Driven from the systems' periodic tick so rules age in lockstep with
+        the replay clock; each expiry notifies the controller via the
+        ``flow_removed`` hook.  Returns the number of rules removed.
+        """
+        return len(self.flow_table.expire(now))
+
+    def _on_rule_removed(self, rule: FlowRule, now: float, reason: RemovalReason) -> None:
+        """Relay a table-initiated removal as ``flow_removed`` to the controller."""
+        if self.flow_removed_handler is not None:
+            self.flow_removed_handler(self.switch_id, rule, now, reason)
 
     def make_encap_header(self, destination_switch: int, destination_ip: IpAddress) -> EncapHeader:
         """Build the GRE-like header used to tunnel a packet to a peer switch."""

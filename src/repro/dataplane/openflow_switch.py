@@ -16,8 +16,10 @@ from repro.common.addresses import IpAddress, MacAddress
 from repro.common.config import FlowTableConfig
 from repro.common.packets import FlowKey, Packet, PacketKind
 from repro.datastructures.fib import LocalFib
-from repro.datastructures.flow_table import ActionType, FlowAction, FlowTable
+from repro.datastructures.flow_table import ActionType, FlowAction, FlowRule, FlowTable
 from repro.dataplane.decisions import ForwardingDecision, ForwardingOutcome
+from repro.dataplane.edge_switch import FlowRemovedHandler
+from repro.tables.policies import RemovalReason
 
 
 class OpenFlowEdgeSwitch:
@@ -36,6 +38,8 @@ class OpenFlowEdgeSwitch:
         self.management_mac = management_mac
         self.lfib = LocalFib()
         self.flow_table = FlowTable(flow_table_config)
+        self.flow_table.removed_listener = self._on_rule_removed
+        self.flow_removed_handler: Optional[FlowRemovedHandler] = None
         self.failed = False
         self.packets_processed = 0
         self.packets_to_controller = 0
@@ -109,6 +113,15 @@ class OpenFlowEdgeSwitch:
     def install_flow_rule(self, key: FlowKey, action: FlowAction, *, priority: int = 0, now: float = 0.0) -> None:
         """Install a controller-provided rule."""
         self.flow_table.install(key, action, priority=priority, now=now)
+
+    def advance_tables(self, now: float) -> int:
+        """Eagerly expire aged flow rules at replay time ``now``."""
+        return len(self.flow_table.expire(now))
+
+    def _on_rule_removed(self, rule: FlowRule, now: float, reason: RemovalReason) -> None:
+        """Relay a table-initiated removal as ``flow_removed`` to the controller."""
+        if self.flow_removed_handler is not None:
+            self.flow_removed_handler(self.switch_id, rule, now, reason)
 
     def local_host(self, mac: MacAddress) -> Optional[int]:
         """Port of a locally attached host, or ``None``."""

@@ -1,22 +1,36 @@
-"""OpenFlow-like flow table with priorities, idle timeouts and match/action rules.
+"""OpenFlow-like flow table with priorities, timeouts and match/action rules.
 
 Both the baseline OpenFlow switch and the LazyCtrl edge switch consult a flow
 table first (Fig. 5, lines 2-5).  In LazyCtrl the controller installs rules
 only for inter-group flows and "other specified" fine-grained flows; in the
 baseline it installs a rule for every flow.  The table models the features
 relevant to the evaluation: exact-match on the flow key, rule priorities,
-idle-timeout eviction, a finite capacity and hit/miss counters.
+a finite capacity, and pluggable timeout/eviction behaviour.
+
+*When* a rule expires and *which* rules are evicted under capacity pressure
+is delegated to a :class:`~repro.tables.policies.TableTimeoutPolicy` (built
+from ``config.policy`` via :mod:`repro.tables.registry`).  Expiry is enforced
+both lazily on lookup and eagerly through :meth:`FlowTable.expire`, which the
+systems drive from the replay's periodic tick so tables age in lockstep with
+replay time.  Every removal that was not an explicit delete is reported to
+``removed_listener`` — the hook switches use to emit ``flow_removed`` to
+their controller — and the stats track the table-pressure loop end to end:
+overflows (installs that found a full table), evictions, idle/hard timeouts,
+re-installs (installs for a key the table had previously timed out or
+evicted) and peak occupancy.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.common.config import FlowTableConfig
 from repro.common.errors import FlowTableError
 from repro.common.packets import FlowKey
+from repro.tables.policies import RemovalReason, TableTimeoutPolicy
+from repro.tables.registry import build_policy
 
 
 class ActionType(enum.Enum):
@@ -56,13 +70,25 @@ class FlowRule:
 
 @dataclass(slots=True)
 class FlowTableStats:
-    """Aggregate statistics of a flow table."""
+    """Aggregate statistics of a flow table.
+
+    ``timeouts`` counts idle timeouts and ``hard_timeouts`` counts hard ones;
+    ``overflows`` counts installs that found the table full (each triggers
+    one eviction batch); ``reinstalls`` counts installs for a key the table
+    had previously removed by timeout or eviction — the control-plane cost
+    of finite tables, since each such install rode a ``packet_in`` that an
+    unbounded table would have absorbed as a hit.
+    """
 
     hits: int = 0
     misses: int = 0
     installs: int = 0
     evictions: int = 0
     timeouts: int = 0
+    hard_timeouts: int = 0
+    overflows: int = 0
+    reinstalls: int = 0
+    peak_occupancy: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -71,15 +97,30 @@ class FlowTableStats:
         return self.hits / total if total else 0.0
 
 
+#: Callback fired after a rule leaves the table by timeout or eviction.
+RemovedListener = Callable[[FlowRule, float, RemovalReason], None]
+
+
 class FlowTable:
-    """Exact-match flow table with priority tie-breaking and idle timeouts."""
+    """Exact-match flow table with priority tie-breaking and policy-driven aging."""
 
-    __slots__ = ("_config", "_rules", "stats")
+    __slots__ = ("_config", "_policy", "_rules", "_removed_keys", "stats", "removed_listener")
 
-    def __init__(self, config: FlowTableConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: FlowTableConfig | None = None,
+        *,
+        policy: TableTimeoutPolicy | None = None,
+    ) -> None:
         self._config = config or FlowTableConfig()
+        self._policy = policy if policy is not None else build_policy(self._config)
         self._rules: Dict[FlowKey, FlowRule] = {}
+        # Keys removed by timeout/eviction, for re-install accounting.  Bounded
+        # by the number of distinct flow keys ever removed (O(host pairs)), not
+        # by trace length, so streamed multi-million-flow replays stay bounded.
+        self._removed_keys: Set[FlowKey] = set()
         self.stats = FlowTableStats()
+        self.removed_listener: Optional[RemovedListener] = None
 
     @property
     def config(self) -> FlowTableConfig:
@@ -87,9 +128,19 @@ class FlowTable:
         return self._config
 
     @property
+    def policy(self) -> TableTimeoutPolicy:
+        """The timeout/eviction policy governing this table."""
+        return self._policy
+
+    @property
     def capacity(self) -> int:
         """Maximum number of simultaneously installed rules."""
         return self._config.capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Number of currently installed rules."""
+        return len(self._rules)
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -103,12 +154,13 @@ class FlowTable:
     def install(self, key: FlowKey, action: FlowAction, *, priority: int = 0, now: float = 0.0) -> FlowRule:
         """Install (or overwrite) a rule for ``key``.
 
-        When the table is full the least-recently matched rules are evicted in
-        batches, mimicking the behaviour of a TCAM manager that reclaims
-        space for fresh flows.
+        When the table is full the install counts as an overflow and the
+        policy's eviction order decides which resident rules are reclaimed
+        in batches, mimicking a TCAM manager making room for fresh flows.
         """
         if key not in self._rules and len(self._rules) >= self._config.capacity:
-            self._evict_lru(now)
+            self.stats.overflows += 1
+            self._evict(now)
         existing = self._rules.get(key)
         if existing is not None and existing.priority > priority:
             raise FlowTableError(
@@ -118,23 +170,35 @@ class FlowTable:
         rule = FlowRule(key=key, action=action, priority=priority, installed_at=now, last_matched_at=now)
         self._rules[key] = rule
         self.stats.installs += 1
+        if key in self._removed_keys:
+            self._removed_keys.discard(key)
+            self.stats.reinstalls += 1
+        if len(self._rules) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self._rules)
+        self._policy.rule_installed(rule, now)
         return rule
 
     def remove(self, key: FlowKey) -> bool:
-        """Remove the rule for ``key``; returns ``True`` if one existed."""
+        """Remove the rule for ``key``; returns ``True`` if one existed.
+
+        An explicit delete (controller-initiated) is not a timeout or an
+        eviction: it neither notifies ``removed_listener`` nor marks the key
+        for re-install accounting.
+        """
         return self._rules.pop(key, None) is not None
 
     def lookup(self, key: FlowKey, *, now: float = 0.0, size_bytes: int = 0) -> Optional[FlowRule]:
         """Match ``key`` against the table, updating statistics and counters.
 
-        Expired rules (idle for longer than the configured timeout) are
-        treated as misses and removed lazily.
+        Rules the policy considers expired at ``now`` are treated as misses
+        and removed lazily, so expiry is enforced even between eager sweeps.
         """
         rule = self._rules.get(key)
-        if rule is not None and now - rule.last_matched_at > self._config.idle_timeout_seconds:
-            del self._rules[key]
-            self.stats.timeouts += 1
-            rule = None
+        if rule is not None:
+            reason = self._policy.expiry_reason(rule, now)
+            if reason is not None:
+                self._discard(rule, now, reason)
+                rule = None
         if rule is None:
             self.stats.misses += 1
             return None
@@ -142,31 +206,45 @@ class FlowTable:
         rule.packet_count += 1
         rule.byte_count += size_bytes
         self.stats.hits += 1
+        self._policy.rule_matched(rule, now)
         return rule
 
+    def expire(self, now: float) -> List[FlowRule]:
+        """Eagerly sweep every rule the policy considers expired at ``now``."""
+        removed = []
+        for rule, reason in self._policy.expired(self._rules.values(), now):
+            self._discard(rule, now, reason)
+            removed.append(rule)
+        return removed
+
     def expire_idle(self, now: float) -> int:
-        """Eagerly remove all rules idle longer than the timeout; returns count."""
-        expired = [
-            key
-            for key, rule in self._rules.items()
-            if now - rule.last_matched_at > self._config.idle_timeout_seconds
-        ]
-        for key in expired:
-            del self._rules[key]
-        self.stats.timeouts += len(expired)
-        return len(expired)
+        """Back-compat alias for :meth:`expire`; returns the removal count."""
+        return len(self.expire(now))
 
     def clear(self) -> None:
-        """Remove every rule (switch reset)."""
+        """Remove every rule (switch reset); resets re-install tracking too."""
         self._rules.clear()
+        self._removed_keys.clear()
 
-    def _evict_lru(self, now: float) -> None:
-        """Evict the least-recently matched rules to make room for new ones."""
-        victims = sorted(self._rules.values(), key=lambda rule: rule.last_matched_at)
-        batch = victims[: self._config.eviction_batch]
-        for rule in batch:
-            del self._rules[rule.key]
-        self.stats.evictions += len(batch)
+    def _evict(self, now: float) -> None:
+        """Reclaim one batch of rules in the policy's eviction order."""
+        victims = self._policy.eviction_order(self._rules.values())
+        for rule in victims[: self._config.eviction_batch]:
+            self._discard(rule, now, RemovalReason.EVICTED)
+
+    def _discard(self, rule: FlowRule, now: float, reason: RemovalReason) -> None:
+        """Remove ``rule`` for ``reason``, updating stats and notifying hooks."""
+        del self._rules[rule.key]
+        if reason is RemovalReason.IDLE_TIMEOUT:
+            self.stats.timeouts += 1
+        elif reason is RemovalReason.HARD_TIMEOUT:
+            self.stats.hard_timeouts += 1
+        else:
+            self.stats.evictions += 1
+        self._removed_keys.add(rule.key)
+        self._policy.rule_removed(rule, now, reason)
+        if self.removed_listener is not None:
+            self.removed_listener(rule, now, reason)
 
     def rules_with_action(self, kind: ActionType) -> list[FlowRule]:
         """Return all rules whose action is of the given kind."""

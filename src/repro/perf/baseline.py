@@ -35,6 +35,14 @@ EXACT_SYSTEM_KEYS = (
     "churn_events",
     "churn_attributed_regroupings",
     "flows_handled",
+    # Finite-flow-table pressure accounting: replay arithmetic, fully
+    # deterministic (baselines predating the keys simply skip them).
+    "table_overflows",
+    "table_evictions",
+    "table_timeouts",
+    "table_reinstalls",
+    "table_peak_occupancy",
+    "flow_removed_messages",
 )
 
 #: Per-system deterministic floats (replay arithmetic, not wall-clock).

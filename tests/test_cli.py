@@ -93,6 +93,55 @@ class TestWorkloadOverrides:
         assert result.runs["openflow"].counters.flows_handled > 0
 
 
+class TestTableFlags:
+    def test_list_table_policies_shows_all_builtins(self, capsys):
+        assert main(["list-table-policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("static-idle", "static-hard", "idle-hard-hybrid", "lru", "adaptive"):
+            assert name in out
+        assert "min_timeout_seconds" in out  # params column
+
+    def test_table_overrides_create_the_overlay(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--table-capacity", "32", "--table-policy", "lru",
+                     "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.tables.capacity == 32
+        assert result.spec.tables.policy == "lru"
+        run = result.runs["openflow"]
+        assert run.tables is not None
+        assert run.tables.capacity == 32 and run.tables.policy == "lru"
+
+    def test_table_capacity_alone_keeps_default_policy(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--systems", "openflow",
+                     "--table-capacity", "16", "--out", str(out_path)])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.tables.capacity == 16
+        assert result.spec.tables.policy == "static-idle"
+
+    def test_unknown_table_policy_fails_cleanly(self, capsys):
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--table-policy", "nope"]) == 2
+        assert "unknown table policy" in capsys.readouterr().err
+
+    def test_table_pressure_preset_runs_small(self, capsys):
+        assert main(["run", "table-pressure", *RUN_SMALL]) == 0
+        assert "OpenFlow" in capsys.readouterr().out
+
+    def test_bench_payload_reports_table_pressure_counters(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "table-pressure", *RUN_SMALL,
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_table-pressure.json").read_text())
+        for record in payload["systems"].values():
+            assert {"table_overflows", "table_evictions", "table_timeouts",
+                    "table_reinstalls", "table_peak_occupancy",
+                    "flow_removed_messages"} <= set(record)
+
+
 class TestRun:
     def test_preset_run_exits_zero(self, capsys):
         assert main(["run", "paper-fig7", *RUN_SMALL]) == 0

@@ -96,6 +96,30 @@ class TestFlowTableConfig:
         with pytest.raises(ConfigurationError):
             FlowTableConfig(eviction_batch=0)
 
+    def test_rejects_negative_hard_timeout(self):
+        with pytest.raises(ConfigurationError, match="hard_timeout_seconds"):
+            FlowTableConfig(hard_timeout_seconds=-1.0)
+
+    def test_rejects_hard_timeout_below_idle(self):
+        # A rule would hard-expire before it could ever idle out.
+        with pytest.raises(ConfigurationError, match="hard_timeout_seconds"):
+            FlowTableConfig(idle_timeout_seconds=60.0, hard_timeout_seconds=30.0)
+
+    def test_hard_timeout_none_disables_it(self):
+        assert FlowTableConfig(hard_timeout_seconds=None).hard_timeout_seconds is None
+
+    def test_rejects_eviction_batch_above_capacity(self):
+        with pytest.raises(ConfigurationError, match="eviction_batch"):
+            FlowTableConfig(capacity=8, eviction_batch=9)
+
+    def test_rejects_zero_sweep_interval(self):
+        with pytest.raises(ConfigurationError, match="sweep_interval_seconds"):
+            FlowTableConfig(sweep_interval_seconds=0)
+
+    def test_rejects_blank_policy_name(self):
+        with pytest.raises(ConfigurationError):
+            FlowTableConfig(policy="  ")
+
 
 class TestLazyCtrlConfig:
     def test_defaults_compose(self):
