@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Validate observability artifacts: events JSONL streams and Chrome traces.
+
+CI's trace-smoke job runs this against the files a traced replay produced:
+
+    python scripts/check_trace.py --events events.jsonl
+    python scripts/check_trace.py --chrome-trace trace.json
+    python scripts/check_trace.py --events events.jsonl --chrome-trace trace.json
+
+Every JSONL line is checked against the typed event schemas (unknown events,
+missing/extra fields, and type mismatches are all hard failures, reported with
+file:line), and the Chrome trace is checked for structural validity (balanced
+B/E spans, known phases, numeric timestamps).  Exit status is 0 only when every
+requested artifact validates.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.errors import ReproError  # noqa: E402
+from repro.obs.export import read_events, validate_chrome_trace  # noqa: E402
+
+
+def check_events(path: Path) -> int:
+    """Validate every line of an events JSONL stream; return the event count."""
+    by_type: Counter = Counter()
+    for record in read_events(path):
+        by_type[record["event"]] += 1
+    total = sum(by_type.values())
+    if total == 0:
+        raise ReproError(f"{path}: no events — the trace stream is empty")
+    breakdown = ", ".join(f"{name}={count}" for name, count in sorted(by_type.items()))
+    print(f"{path}: {total} events OK ({breakdown})")
+    return total
+
+
+def check_chrome_trace(path: Path) -> int:
+    """Validate a Chrome trace JSON file; return the trace-entry count."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON: {exc}") from exc
+    entries = validate_chrome_trace(payload)
+    if entries == 0:
+        raise ReproError(f"{path}: no trace entries — the export is empty")
+    print(f"{path}: {entries} trace entries OK")
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=Path, help="events JSONL stream to validate")
+    parser.add_argument("--chrome-trace", type=Path, help="Chrome trace JSON to validate")
+    args = parser.parse_args(argv)
+    if args.events is None and args.chrome_trace is None:
+        parser.error("nothing to check: pass --events and/or --chrome-trace")
+    try:
+        if args.events is not None:
+            check_events(args.events)
+        if args.chrome_trace is not None:
+            check_chrome_trace(args.chrome_trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

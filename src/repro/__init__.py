@@ -48,6 +48,15 @@ from repro.core.scenario import (
     TraceSpec,
 )
 from repro.core.system import LazyCtrlSystem, OpenFlowSystem
+from repro.obs import (
+    EventTracer,
+    JsonlEventListener,
+    MetricsTimeline,
+    TimelineResult,
+    TraceOptions,
+    render_timeline,
+    write_chrome_trace,
+)
 from repro.partitioning.sgi import Grouping, SgiGrouper
 from repro.perf import PerfRecorder, PerfSnapshot
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
@@ -66,7 +75,7 @@ from repro.traffic.registry import (
     register_traffic_model,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ChurnSpec",
@@ -74,10 +83,13 @@ __all__ = [
     "ControlPlaneEntry",
     "DayLongExperiment",
     "DayLongExperimentResult",
+    "EventTracer",
     "FailureInjectionSpec",
     "Grouping",
+    "JsonlEventListener",
     "LazyCtrlConfig",
     "LazyCtrlSystem",
+    "MetricsTimeline",
     "OpenFlowSystem",
     "PerfRecorder",
     "PerfSnapshot",
@@ -89,9 +101,11 @@ __all__ = [
     "ScenarioSpec",
     "ScheduleSpec",
     "SgiGrouper",
+    "TimelineResult",
     "TopologyEntry",
     "TopologyProfile",
     "TopologySpec",
+    "TraceOptions",
     "TraceSpec",
     "TrafficComponentSpec",
     "TrafficMixSpec",
@@ -109,6 +123,8 @@ __all__ = [
     "register_control_plane",
     "register_topology",
     "register_traffic_model",
+    "render_timeline",
+    "write_chrome_trace",
     "__version__",
 ]
 

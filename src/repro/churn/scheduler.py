@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from repro.churn.processes import ChurnProcess, ChurnTarget, build_processes
 from repro.churn.results import ChurnRunResult
 from repro.churn.spec import ChurnSpec
+from repro.obs.events import ChurnAppliedEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import Event, EventKind
 from repro.simulation.metrics import CounterSeries
@@ -51,9 +53,11 @@ class ChurnScheduler:
         engine: SimulationEngine,
         replay_end: float,
         bucket_seconds: float,
+        tracer=NULL_TRACER,
     ) -> None:
         self.spec = spec
         self.target = target
+        self.tracer = tracer
         self.stats = ChurnStats()
         self.events_series = CounterSeries(bucket_seconds)
         self.scheduled_events = 0
@@ -71,6 +75,8 @@ class ChurnScheduler:
         return fire
 
     def _account(self, kind: EventKind, applied: int, now: float) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(ChurnAppliedEvent(time=now, kind=kind.value, applied=applied))
         if applied <= 0:
             self.stats.skipped_events += 1
             return

@@ -13,6 +13,9 @@ Seven subcommands cover the everyday workflow::
     python -m repro bench --out-dir bench-out            # machine-readable benchmarks
     python -m repro bench --check                        # gate on committed baselines
     python -m repro profile paper-fig7 --flows 2000      # per-stage perf breakdown
+    python -m repro run paper-fig7 --events-out ev.jsonl # structured event trace
+    python -m repro timeline table-pressure              # per-bucket sparklines
+    python -m repro trace-export ev.jsonl --out trace.json  # Perfetto-loadable
 
 ``run`` accepts either a preset name (see ``list-scenarios``) or a path to a
 JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
@@ -31,6 +34,14 @@ trajectory; with ``--check`` it additionally compares the fresh payloads
 against the baselines committed under ``benchmarks/baselines/`` and exits
 non-zero on drift.  ``profile`` instruments a replay and prints where the
 wall-clock went, stage by stage.
+
+Observability: ``run --events-out events.jsonl`` streams every structured
+event (packet-ins, flow installs/removals, evictions, regroupings, churn) to
+JSONL in O(1) memory, with ``--trace-sample`` thinning the high-volume event
+types deterministically; ``timeline`` renders per-bucket sparklines of the
+same series; ``trace-export`` converts an event stream (plus an optional
+``profile --out`` snapshot) into a Chrome trace-event JSON loadable in
+Perfetto.
 """
 
 from __future__ import annotations
@@ -50,6 +61,9 @@ from repro.core.presets import get_preset, list_presets
 from repro.core.registry import available_control_planes
 from repro.core.runner import ScenarioResult, ScenarioRunner
 from repro.core.scenario import ScenarioSpec, TopologySpec, TraceSpec
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.timeline import render_timeline
+from repro.obs.tracer import TraceOptions
 from repro.perf.baseline import check_against_baselines
 from repro.perf.recorder import peak_rss_bytes
 from repro.perf.report import format_stage_breakdown
@@ -234,7 +248,22 @@ def _print_result(result: ScenarioResult) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     specs = [_apply_overrides(spec, args) for spec in _load_specs(args.scenario)]
-    results = ScenarioRunner().run_many(specs, workers=args.workers)
+    if args.events_out is not None:
+        # Tracing pins the run to this process (one shared events file), so
+        # multi-scenario presets would overwrite each other's streams.
+        if len(specs) > 1:
+            raise ReproError(
+                f"--events-out needs a single scenario; {args.scenario!r} expands to "
+                f"{len(specs)} — pick one of: "
+                + ", ".join(spec.name for spec in specs)
+            )
+        obs = TraceOptions(
+            events_path=args.events_out, sample=args.trace_sample, timeline=True
+        )
+        results = [ScenarioRunner().run(specs[0], obs=obs)]
+        print(f"Events written to {args.events_out}\n")
+    else:
+        results = ScenarioRunner().run_many(specs, workers=args.workers)
     for index, result in enumerate(results):
         if index:
             print()
@@ -336,6 +365,21 @@ def _bench_payload(
                     "flow_removed_messages": run.tables.flow_removed_messages,
                 }
             )
+        if run.timeline is not None:
+            # Count series only: they are exact (each sums to a scalar
+            # counter above) so --check can gate on them bucket for bucket;
+            # gauges and percentiles stay out (timing-flavoured, not exact),
+            # and so does chunks_drained — it counts replay mechanics, which
+            # legitimately differ between the streamed and materialized paths
+            # replaying the same scenario.
+            record["timeline"] = {
+                "bucket_seconds": run.timeline.bucket_seconds,
+                "counts": {
+                    series: values
+                    for series, values in run.timeline.counts.items()
+                    if series != "chunks_drained"
+                },
+            }
         systems[name] = record
     switches, hosts = result.spec.topology.dimensions()
     return {
@@ -370,7 +414,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             runtime = None
             for _ in range(repeat):
                 started = time.perf_counter()
-                result = runner.run(spec)
+                result = runner.run(spec, obs=TraceOptions(timeline=True))
                 elapsed = time.perf_counter() - started
                 runtime = elapsed if runtime is None else min(runtime, elapsed)
             payload = _bench_payload(
@@ -466,6 +510,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.out is not None:
         Path(args.out).write_text(json.dumps(snapshots, indent=2) + "\n", encoding="utf-8")
         print(f"\nPerf snapshots written to {args.out}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    specs = [_apply_overrides(spec, args) for spec in _load_specs(args.scenario)]
+    runner = ScenarioRunner()
+    obs = TraceOptions(timeline=True, timeline_bucket_seconds=args.bucket_seconds)
+    first = True
+    for spec in specs:
+        result = runner.run(spec, obs=obs)
+        for run in result.runs.values():
+            if not first:
+                print()
+            first = False
+            print(render_timeline(run.timeline, label=f"{result.spec.name} · {run.label}"))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    events, entries = write_chrome_trace(args.events, args.out, profile_path=args.profile)
+    # Re-validate what was just written so a broken export fails here, not
+    # silently when someone loads it into Perfetto.
+    validate_chrome_trace(json.loads(Path(args.out).read_text(encoding="utf-8")))
+    print(f"wrote {args.out} ({events} events, {entries} trace entries)")
     return 0
 
 
@@ -568,6 +636,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_override_arguments(run)
     run.add_argument("--workers", type=int, default=None, help="process fan-out for multi-scenario runs")
     run.add_argument("--out", default=None, help="write results JSON to this path")
+    run.add_argument(
+        "--events-out",
+        default=None,
+        help="stream structured trace events to this JSONL file (single-scenario runs)",
+    )
+    run.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="sampling rate in (0, 1] for high-volume event types in --events-out "
+        "(deterministic stride, no RNG; lifecycle events are always written)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     bench = subparsers.add_parser(
@@ -611,6 +691,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_override_arguments(profile)
     profile.add_argument("--out", default=None, help="write the perf snapshots JSON to this path")
     profile.set_defaults(handler=_cmd_profile)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="replay a scenario and render per-bucket sparkline timelines"
+    )
+    timeline.add_argument("scenario", help="preset name or path to a ScenarioSpec JSON file")
+    _add_override_arguments(timeline)
+    timeline.add_argument(
+        "--bucket-seconds",
+        type=float,
+        default=None,
+        help="timeline bucket width (defaults to the scenario's result bucket)",
+    )
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    trace_export = subparsers.add_parser(
+        "trace-export",
+        help="convert an --events-out JSONL stream into Chrome trace-event JSON (Perfetto)",
+    )
+    trace_export.add_argument("events", help="events JSONL file written by 'run --events-out'")
+    trace_export.add_argument("--out", required=True, help="path for the Chrome trace JSON")
+    trace_export.add_argument(
+        "--profile",
+        default=None,
+        help="perf snapshots JSON from 'profile --out' to add per-stage spans",
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
 
     compare = subparsers.add_parser("compare", help="compare runs from a results file or preset")
     compare.add_argument("target", help="results JSON (from 'run --out') or preset name")

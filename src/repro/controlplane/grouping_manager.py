@@ -24,6 +24,8 @@ from typing import List, Optional
 
 from repro.common.config import GroupingConfig, RegroupingPolicy
 from repro.datastructures.intensity import IntensityMatrix
+from repro.obs.events import RegroupFinishEvent, RegroupStartEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.partitioning.sgi import Grouping, SgiGrouper
 from repro.simulation.metrics import CounterSeries
 
@@ -55,6 +57,7 @@ class GroupingManager:
         self.history_matrix = IntensityMatrix()
         self.recent_matrix = IntensityMatrix()
         self.current_grouping: Optional[Grouping] = None
+        self.tracer = NULL_TRACER
         self.updates_series = CounterSeries(3600.0)
         self.update_count = 0
         self.churn_events_since_update = 0
@@ -145,6 +148,27 @@ class GroupingManager:
         if not (growth_triggered or overloaded or stale or churn_triggered):
             return RegroupingDecision(regrouped=False, reason="no trigger fired")
 
+        # The first trigger in precedence order names the update; the same
+        # string is the applied decision's reason and the trace attribution.
+        if growth_triggered:
+            trigger = "workload growth"
+        elif overloaded:
+            trigger = "overload"
+        elif churn_triggered:
+            trigger = "topology churn"
+        else:
+            trigger = "max interval elapsed"
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                RegroupStartEvent(
+                    time=now,
+                    trigger=trigger,
+                    churn_pending=self.churn_events_since_update,
+                    workload_rps=workload_rps,
+                )
+            )
+
         report = self.grouper.incremental_update(
             self.current_grouping,
             self.history_matrix,
@@ -160,23 +184,36 @@ class GroupingManager:
             # grouping and do not count an update, mirroring the paper's goal
             # of avoiding oscillation.  Pending churn keeps accumulating so a
             # later applied update is still attributed to it.
+            if tracer.enabled:
+                tracer.emit(
+                    RegroupFinishEvent(
+                        time=now,
+                        applied=False,
+                        reason="update would not improve grouping",
+                        churn_attributed=False,
+                        group_count=len(self.current_grouping.groups),
+                    )
+                )
             return RegroupingDecision(regrouped=False, reason="update would not improve grouping")
 
         self.current_grouping = report.grouping
         self.update_count += 1
         self.updates_series.record(now)
-        if self.churn_events_since_update > 0:
+        churn_attributed = self.churn_events_since_update > 0
+        if churn_attributed:
             self.churn_attributed_update_count += 1
         self.churn_events_since_update = 0
-        if growth_triggered:
-            reason = "workload growth"
-        elif overloaded:
-            reason = "overload"
-        elif churn_triggered:
-            reason = "topology churn"
-        else:
-            reason = "max interval elapsed"
-        return RegroupingDecision(regrouped=True, reason=reason, grouping=report.grouping)
+        if tracer.enabled:
+            tracer.emit(
+                RegroupFinishEvent(
+                    time=now,
+                    applied=True,
+                    reason=trigger,
+                    churn_attributed=churn_attributed,
+                    group_count=len(report.grouping.groups),
+                )
+            )
+        return RegroupingDecision(regrouped=True, reason=trigger, grouping=report.grouping)
 
     # -- reporting -----------------------------------------------------------------
 

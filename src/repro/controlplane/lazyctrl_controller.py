@@ -32,6 +32,8 @@ from repro.controlplane.group import LocalControlGroup
 from repro.controlplane.grouping_manager import GroupingManager
 from repro.controlplane.messages import GroupConfigMessage, GroupStateReportMessage
 from repro.controlplane.tenant_manager import TenantManager
+from repro.obs.events import FlowInstallEvent, FlowRemovedEvent, PacketInEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.partitioning.sgi import Grouping
 from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.metrics import CounterSeries, WorkloadMeter
@@ -77,6 +79,7 @@ class LazyCtrlController:
         self.workload_series = CounterSeries(workload_bucket_seconds)
         self.workload_meter = WorkloadMeter(window_seconds=60.0)
         self.perf = NULL_RECORDER
+        self.tracer = NULL_TRACER
         self.total_requests = 0
         self.flow_mods_sent = 0
         self.arp_relays = 0
@@ -228,6 +231,10 @@ class LazyCtrlController:
         ARP to the designated switches of every group hosting the tenant.
         """
         self._record_request(now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PacketInEvent(time=now, switch_id=ingress_switch_id, kind="inter_group")
+            )
         egress = self.clib.locate(packet.dst_mac)
         if egress is not None:
             self._install_inter_group_rule(ingress_switch_id, packet, egress, now)
@@ -263,6 +270,8 @@ class LazyCtrlController:
         Returns the number of groups the request was relayed to.
         """
         self._record_request(now)
+        if self.tracer.enabled:
+            self.tracer.emit(PacketInEvent(time=now, switch_id=ingress_switch_id, kind="arp"))
         return self._relay_arp(packet, now)
 
     def _relay_arp(self, packet: Packet, now: float) -> int:
@@ -291,6 +300,14 @@ class LazyCtrlController:
             action = FlowAction(ActionType.ENCAP_TO_SWITCH, egress_switch_id)
         switch.install_flow_rule(key, action, now=now)
         self.flow_mods_sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FlowInstallEvent(
+                    time=now,
+                    switch_id=ingress_switch_id,
+                    egress_switch_id=egress_switch_id,
+                )
+            )
 
     def handle_flow_removed(self, switch_id: int, rule, now: float, reason) -> None:
         """Note a ``flow_removed`` sent by a switch whose table aged out a rule.
@@ -302,6 +319,10 @@ class LazyCtrlController:
         """
         self.flow_removed_received += 1
         self.perf.count("controller.flow_removed")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FlowRemovedEvent(time=now, switch_id=switch_id, reason=reason.value)
+            )
 
     # -- workload accounting --------------------------------------------------------------------
 

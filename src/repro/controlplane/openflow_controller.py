@@ -17,6 +17,8 @@ from repro.common.addresses import MacAddress
 from repro.common.packets import FlowKey, Packet
 from repro.datastructures.flow_table import ActionType, FlowAction
 from repro.dataplane.openflow_switch import OpenFlowEdgeSwitch
+from repro.obs.events import FlowInstallEvent, FlowRemovedEvent, PacketInEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.metrics import CounterSeries, WorkloadMeter
 
@@ -40,6 +42,7 @@ class OpenFlowController:
         self.workload_series = CounterSeries(workload_bucket_seconds)
         self.workload_meter = WorkloadMeter(window_seconds=60.0)
         self.perf = NULL_RECORDER
+        self.tracer = NULL_TRACER
         self.total_requests = 0
         self.arp_floods = 0
         self.flow_mods_sent = 0
@@ -97,6 +100,10 @@ class OpenFlowController:
         is what makes baseline cold-cache latency high.
         """
         self._record_request(now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                PacketInEvent(time=now, switch_id=ingress_switch_id, kind="reactive")
+            )
         # Learning-switch behaviour: the Packet_In itself teaches the
         # controller where the source lives.
         self.learn_location(packet.src_mac, ingress_switch_id)
@@ -109,6 +116,10 @@ class OpenFlowController:
             # The flood itself generates additional controller work (one more
             # round of Packet_Ins carrying the replies).
             self._record_request(now)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    PacketInEvent(time=now, switch_id=ingress_switch_id, kind="arp_flood")
+                )
             egress = true_destination_switch
             if egress is not None:
                 self.learn_location(packet.dst_mac, egress)
@@ -133,6 +144,10 @@ class OpenFlowController:
         """
         self.flow_removed_received += 1
         self.perf.count("controller.flow_removed")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FlowRemovedEvent(time=now, switch_id=switch_id, reason=reason.value)
+            )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -158,3 +173,11 @@ class OpenFlowController:
             action = FlowAction(ActionType.ENCAP_TO_SWITCH, egress_switch_id)
         switch.install_flow_rule(key, action, now=now)
         self.flow_mods_sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FlowInstallEvent(
+                    time=now,
+                    switch_id=ingress_switch_id,
+                    egress_switch_id=egress_switch_id,
+                )
+            )

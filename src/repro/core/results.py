@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.churn.results import ChurnRunResult
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
+from repro.obs.timeline import TimelineResult
 from repro.perf.report import PerfSnapshot
 
 
@@ -152,6 +153,9 @@ class RunResult:
     # Flow-table pressure accounting; None for systems predating the field
     # (old serialized results load with tables omitted).
     tables: Optional[TableUsageResult] = None
+    # Per-bucket event timeline; present only when the run was traced
+    # (``--events-out`` / ``repro timeline`` / bench), None otherwise.
+    timeline: Optional[TimelineResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of this run."""

@@ -34,6 +34,8 @@ from repro.core.results import (
     WorkloadSeriesResult,
 )
 from repro.core.scenario import FailureInjectionSpec, ScenarioSpec, ScheduleSpec
+from repro.obs.timeline import MetricsTimeline, TimelineResult
+from repro.obs.tracer import NULL_TRACER, EventTracer, JsonlEventListener, TraceOptions
 from repro.perf.recorder import NULL_RECORDER, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot
 from repro.simulation.engine import SimulationEngine
@@ -126,12 +128,26 @@ class _FailureInjector:
 class ScenarioRunner:
     """Runs declarative scenarios against registered control planes."""
 
-    def run(self, spec: ScenarioSpec, *, collect_perf: bool = False) -> ScenarioResult:
+    def run(
+        self,
+        spec: ScenarioSpec,
+        *,
+        collect_perf: bool = False,
+        obs: Optional[TraceOptions] = None,
+    ) -> ScenarioResult:
         """Materialize ``spec`` and run every selected control plane on it.
 
         With ``collect_perf=True`` every run is instrumented with a
         :class:`~repro.perf.recorder.PerfRecorder` and carries a
         :class:`~repro.perf.report.PerfSnapshot` on ``RunResult.perf``.
+
+        With an active ``obs`` every run is traced: events stream to
+        ``obs.events_path`` (one shared JSONL file, lines stamped with the
+        system name) and/or a per-bucket
+        :class:`~repro.obs.timeline.TimelineResult` rides on
+        ``RunResult.timeline``.  Without it every component keeps the shared
+        :data:`~repro.obs.tracer.NULL_TRACER` and the replay is bit-identical
+        to an untraced one.
 
         With ``spec.stream`` set the trace is never materialized: every
         system drains a freshly instantiated chunk stream over its own
@@ -147,33 +163,59 @@ class ScenarioRunner:
         config = spec.effective_config()
         if spec.tables is not None:
             spec.tables.resolved_params()
+        obs_active = obs is not None and obs.active
         base_trace = None if spec.stream else spec.build_trace(spec.build_network())
         runs: Dict[str, RunResult] = {}
-        for entry in entries:
-            system_trace: Trace | FlowStream
-            if spec.stream:
-                # A stream is consumed by its replay, and churn additionally
-                # mutates the topology, so every system gets a fresh network
-                # and a fresh (lazily regenerated) stream over it.
-                system_trace = spec.build_stream(spec.build_network())
-            elif spec.churn_active:
-                # Churn mutates the topology during a replay, so each system
-                # starts from its own pristine network.  The deterministic
-                # builder yields an identical copy, and the already-generated
-                # flows are simply rebound to it — far cheaper than
-                # regenerating the trace per system.
-                system_trace = Trace(base_trace.name, spec.build_network(), base_trace.flows)
-            else:
-                system_trace = base_trace
-            runs[entry.name] = self.replay_system(
-                entry.name,
-                system_trace,
-                schedule=spec.schedule,
-                config=config,
-                failures=spec.failures,
-                churn=spec.churn,
-                perf=PerfRecorder() if collect_perf else None,
-            )
+        events_sink = None
+        try:
+            if obs_active and obs.events_path is not None:
+                events_sink = open(obs.events_path, "w", encoding="utf-8")
+            for entry in entries:
+                system_trace: Trace | FlowStream
+                if spec.stream:
+                    # A stream is consumed by its replay, and churn additionally
+                    # mutates the topology, so every system gets a fresh network
+                    # and a fresh (lazily regenerated) stream over it.
+                    system_trace = spec.build_stream(spec.build_network())
+                elif spec.churn_active:
+                    # Churn mutates the topology during a replay, so each system
+                    # starts from its own pristine network.  The deterministic
+                    # builder yields an identical copy, and the already-generated
+                    # flows are simply rebound to it — far cheaper than
+                    # regenerating the trace per system.
+                    system_trace = Trace(base_trace.name, spec.build_network(), base_trace.flows)
+                else:
+                    system_trace = base_trace
+                tracer = NULL_TRACER
+                if obs_active:
+                    timeline = None
+                    if obs.timeline:
+                        timeline = MetricsTimeline(
+                            obs.timeline_bucket_seconds or spec.schedule.bucket_seconds
+                        )
+                    tracer = EventTracer(system=entry.name, timeline=timeline)
+                    if events_sink is not None:
+                        tracer.add_listener(
+                            JsonlEventListener(
+                                events_sink,
+                                system=entry.name,
+                                scenario=spec.name,
+                                sample=obs.sample,
+                            )
+                        )
+                runs[entry.name] = self.replay_system(
+                    entry.name,
+                    system_trace,
+                    schedule=spec.schedule,
+                    config=config,
+                    failures=spec.failures,
+                    churn=spec.churn,
+                    perf=PerfRecorder() if collect_perf else None,
+                    tracer=tracer,
+                )
+        finally:
+            if events_sink is not None:
+                events_sink.close()
         return ScenarioResult(spec=spec, runs=runs)
 
     def run_many(
@@ -219,6 +261,7 @@ class ScenarioRunner:
         failures: Optional[FailureInjectionSpec] = None,
         churn: Optional[ChurnSpec] = None,
         perf: Optional[PerfRecorder] = None,
+        tracer=NULL_TRACER,
     ) -> RunResult:
         """Drive one registered control plane over a trace or chunk stream.
 
@@ -255,6 +298,8 @@ class ScenarioRunner:
         )
         if perf is not None and hasattr(plane, "set_perf_recorder"):
             plane.set_perf_recorder(perf)
+        if tracer.enabled and hasattr(plane, "set_tracer"):
+            plane.set_tracer(tracer)
         plane.prepare(trace, warmup_end=schedule.warmup_seconds)
 
         callbacks = [plane.periodic]
@@ -273,6 +318,7 @@ class ScenarioRunner:
                 engine=engine,
                 replay_end=schedule.duration_seconds,
                 bucket_seconds=schedule.bucket_seconds,
+                tracer=tracer,
             )
 
         replayer = TraceReplayer(
@@ -282,10 +328,12 @@ class ScenarioRunner:
             periodic_callbacks=callbacks,
             event_engine=engine,
             perf=perf if perf is not None else NULL_RECORDER,
+            tracer=tracer,
         )
         started = perf_counter()
         progress = replayer.replay(start=0.0, end=schedule.duration_seconds)
         wall_seconds = perf_counter() - started
+        tracer.close()
 
         perf_snapshot: Optional[PerfSnapshot] = None
         if perf is not None:
@@ -305,6 +353,7 @@ class ScenarioRunner:
             injector,
             scheduler,
             perf_snapshot,
+            tracer.timeline,
         )
 
     # -- result collection -----------------------------------------------------
@@ -317,6 +366,7 @@ class ScenarioRunner:
         injector: Optional[_FailureInjector] = None,
         churn_scheduler: Optional[ChurnScheduler] = None,
         perf_snapshot: Optional[PerfSnapshot] = None,
+        timeline: Optional[MetricsTimeline] = None,
     ) -> RunResult:
         # Ceil so a partial final bucket is reported rather than dropped
         # (its rate is still averaged over a full bucket width).
@@ -343,6 +393,14 @@ class ScenarioRunner:
             churn_result = churn_scheduler.result(
                 bucket_count=bucket_count, churn_attributed_regroupings=attributed
             )
+        timeline_result: Optional[TimelineResult] = None
+        if timeline is not None:
+            # The timeline may use its own bucket width; size the result to
+            # cover the same duration the other series cover.
+            timeline_buckets = max(
+                1, math.ceil(schedule.duration_seconds / timeline.bucket_seconds)
+            )
+            timeline_result = timeline.result(timeline_buckets)
         return RunResult(
             label=label,
             workload=WorkloadSeriesResult(label=label, bucket_hours=schedule.bucket_hours, krps=krps),
@@ -359,6 +417,7 @@ class ScenarioRunner:
             churn=churn_result,
             perf=perf_snapshot,
             tables=plane.table_usage() if hasattr(plane, "table_usage") else None,
+            timeline=timeline_result,
         )
 
 

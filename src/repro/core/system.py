@@ -26,6 +26,8 @@ from repro.core.results import (
     SystemCounters,
     TableUsageResult,
 )
+from repro.obs.events import EvictionEvent, OverflowEvent, ReinstallEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.partitioning.sgi import Grouping
 from repro.perf.recorder import NULL_RECORDER
 from repro.simulation.latency import LatencyModel
@@ -63,6 +65,26 @@ def _aggregate_table_usage(config, tables, flow_removed_messages: int) -> TableU
     )
 
 
+def _attach_table_tracer(tracer, switch) -> None:
+    """Tap one switch's flow table into the event bus with its switch id.
+
+    The table itself knows only pressure *kinds*; the closure re-attaches
+    the switch identity and maps each kind onto its typed event.
+    """
+    switch_id = switch.switch_id
+
+    def on_pressure(kind: str, now: float) -> None:
+        if kind == "overflow":
+            tracer.emit(OverflowEvent(time=now, switch_id=switch_id))
+        elif kind == "reinstall":
+            tracer.emit(ReinstallEvent(time=now, switch_id=switch_id))
+        else:
+            # Removal reasons: evicted / idle_timeout / hard_timeout.
+            tracer.emit(EvictionEvent(time=now, switch_id=switch_id, reason=kind))
+
+    switch.flow_table.pressure_listener = on_pressure
+
+
 def _fold_table_counters(perf, usage: TableUsageResult) -> None:
     """Expose table-pressure accounting through the perf registry."""
     perf.count("edge.table_overflows", usage.overflows)
@@ -98,6 +120,7 @@ class LazyCtrlSystem:
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
         self.perf = NULL_RECORDER
+        self.tracer = NULL_TRACER
         self.failover_records: List = []
         self._last_table_sweep = 0.0
 
@@ -191,6 +214,8 @@ class LazyCtrlSystem:
         self.latency_recorder.record(now, first)
         if flow.packet_count > 1:
             self.latency_recorder.record(now, steady, count=flow.packet_count - 1)
+        if self.tracer.enabled:
+            self.tracer.flow(now, first)
 
         return FlowHandlingResult(
             flow_id=flow.flow_id,
@@ -233,6 +258,12 @@ class LazyCtrlSystem:
             self.controller.periodic_check(now)
         with perf.timeit("table_sweep"):
             self._sweep_tables(now)
+        if self.tracer.enabled:
+            self.tracer.gauge(
+                "table_occupancy",
+                now,
+                sum(len(switch.flow_table) for switch in self.controller.switches()),
+            )
 
     def _sweep_tables(self, now: float) -> None:
         """Eagerly expire aged flow rules, at most once per sweep interval.
@@ -259,6 +290,14 @@ class LazyCtrlSystem:
         """Attach a perf recorder to the system and its controller."""
         self.perf = recorder
         self.controller.perf = recorder
+
+    def set_tracer(self, tracer) -> None:
+        """Attach an event tracer to the system, its controller, and its tables."""
+        self.tracer = tracer
+        self.controller.tracer = tracer
+        self.controller.grouping_manager.tracer = tracer
+        for switch in self.controller.switches():
+            _attach_table_tracer(tracer, switch)
 
     def fold_perf_counters(self) -> None:
         """Fold data-plane counters into the recorder (end-of-replay snapshot).
@@ -389,6 +428,7 @@ class OpenFlowSystem:
         self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
         self.counters = SystemCounters()
         self.perf = NULL_RECORDER
+        self.tracer = NULL_TRACER
         self._last_table_sweep = 0.0
 
         self._switches: Dict[int, OpenFlowEdgeSwitch] = {}
@@ -459,6 +499,8 @@ class OpenFlowSystem:
         self.latency_recorder.record(now, first)
         if flow.packet_count > 1:
             self.latency_recorder.record(now, steady, count=flow.packet_count - 1)
+        if self.tracer.enabled:
+            self.tracer.flow(now, first)
 
         return FlowHandlingResult(
             flow_id=flow.flow_id,
@@ -472,6 +514,14 @@ class OpenFlowSystem:
 
     def periodic(self, now: float) -> None:
         """Periodic housekeeping: the baseline only ages its flow tables."""
+        # The occupancy gauge samples at every tick, independent of the
+        # sweep rate limit, so both systems' timelines share a cadence.
+        if self.tracer.enabled:
+            self.tracer.gauge(
+                "table_occupancy",
+                now,
+                sum(len(switch.flow_table) for switch in self._switches.values()),
+            )
         with self.perf.timeit("table_sweep"):
             if now - self._last_table_sweep < self.config.flow_table.sweep_interval_seconds:
                 return
@@ -488,6 +538,13 @@ class OpenFlowSystem:
         """Attach a perf recorder to the system and its controller."""
         self.perf = recorder
         self.controller.perf = recorder
+
+    def set_tracer(self, tracer) -> None:
+        """Attach an event tracer to the system, its controller, and its tables."""
+        self.tracer = tracer
+        self.controller.tracer = tracer
+        for switch in self._switches.values():
+            _attach_table_tracer(tracer, switch)
 
     def fold_perf_counters(self) -> None:
         """Fold data-plane counters into the recorder (end-of-replay snapshot)."""

@@ -100,11 +100,26 @@ class FlowTableStats:
 #: Callback fired after a rule leaves the table by timeout or eviction.
 RemovedListener = Callable[[FlowRule, float, RemovalReason], None]
 
+#: Callback fired on table-pressure incidents, as ``(kind, now)`` where
+#: ``kind`` is ``"overflow"``, ``"reinstall"``, or a
+#: :class:`~repro.tables.policies.RemovalReason` value for removals.  This is
+#: the observability tap (the structured-event bus subscribes here); unlike
+#: ``removed_listener`` it never feeds back into the control plane.
+PressureListener = Callable[[str, float], None]
+
 
 class FlowTable:
     """Exact-match flow table with priority tie-breaking and policy-driven aging."""
 
-    __slots__ = ("_config", "_policy", "_rules", "_removed_keys", "stats", "removed_listener")
+    __slots__ = (
+        "_config",
+        "_policy",
+        "_rules",
+        "_removed_keys",
+        "stats",
+        "removed_listener",
+        "pressure_listener",
+    )
 
     def __init__(
         self,
@@ -121,6 +136,7 @@ class FlowTable:
         self._removed_keys: Set[FlowKey] = set()
         self.stats = FlowTableStats()
         self.removed_listener: Optional[RemovedListener] = None
+        self.pressure_listener: Optional[PressureListener] = None
 
     @property
     def config(self) -> FlowTableConfig:
@@ -160,6 +176,8 @@ class FlowTable:
         """
         if key not in self._rules and len(self._rules) >= self._config.capacity:
             self.stats.overflows += 1
+            if self.pressure_listener is not None:
+                self.pressure_listener("overflow", now)
             self._evict(now)
         existing = self._rules.get(key)
         if existing is not None and existing.priority > priority:
@@ -173,6 +191,8 @@ class FlowTable:
         if key in self._removed_keys:
             self._removed_keys.discard(key)
             self.stats.reinstalls += 1
+            if self.pressure_listener is not None:
+                self.pressure_listener("reinstall", now)
         if len(self._rules) > self.stats.peak_occupancy:
             self.stats.peak_occupancy = len(self._rules)
         self._policy.rule_installed(rule, now)
@@ -243,6 +263,8 @@ class FlowTable:
             self.stats.evictions += 1
         self._removed_keys.add(rule.key)
         self._policy.rule_removed(rule, now, reason)
+        if self.pressure_listener is not None:
+            self.pressure_listener(reason.value, now)
         if self.removed_listener is not None:
             self.removed_listener(rule, now, reason)
 

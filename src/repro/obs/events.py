@@ -1,0 +1,291 @@
+"""The structured-event vocabulary of the observability subsystem.
+
+Every event is a small frozen dataclass with a class-level wire name
+(``event``) and JSON-scalar fields only, so one event serializes to one
+self-describing JSONL line::
+
+    {"event": "packet_in", "time": 3604.2, "system": "openflow",
+     "seq": 1812, "switch_id": 7, "kind": "reactive"}
+
+``time`` is always *simulation* seconds (the replay clock), never host
+wall-clock — the whole point of the trace is to line control-plane activity
+up against the replayed day, and host time is what
+:class:`~repro.perf.recorder.PerfRecorder` already covers.
+
+The module also derives a validation schema from the dataclass annotations
+(:func:`validate_event_dict`), which is what the CI trace-smoke job and
+``repro trace-export`` run over every emitted line: unknown event names,
+missing fields, extra fields and JSON-type mismatches all raise
+:class:`~repro.common.errors.ReproError` naming the offence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple, get_args, get_origin, get_type_hints
+
+from repro.common.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base of every structured event; ``time`` is simulation seconds."""
+
+    event: ClassVar[str] = ""
+
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class PacketInEvent(TraceEvent):
+    """One controller request.  Sums to ``total_controller_requests``.
+
+    ``kind`` distinguishes the request path: ``inter_group`` (LazyCtrl
+    Packet_In), ``arp`` (LazyCtrl group ARP escalation), ``reactive``
+    (baseline Packet_In) and ``arp_flood`` (the baseline's extra learning
+    round for an unknown destination).
+    """
+
+    event: ClassVar[str] = "packet_in"
+
+    switch_id: int
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class FlowInstallEvent(TraceEvent):
+    """A flow rule pushed to ``switch_id``.  Sums to ``flow_mods_sent``."""
+
+    event: ClassVar[str] = "flow_install"
+
+    switch_id: int
+    egress_switch_id: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRemovedEvent(TraceEvent):
+    """A ``flow_removed`` notification received by the controller."""
+
+    event: ClassVar[str] = "flow_removed"
+
+    switch_id: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class EvictionEvent(TraceEvent):
+    """A rule left a switch's table: ``evicted``/``idle_timeout``/``hard_timeout``."""
+
+    event: ClassVar[str] = "eviction"
+
+    switch_id: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class OverflowEvent(TraceEvent):
+    """An install found the table full and triggered an eviction batch."""
+
+    event: ClassVar[str] = "overflow"
+
+    switch_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReinstallEvent(TraceEvent):
+    """An install for a key the table previously timed out or evicted."""
+
+    event: ClassVar[str] = "reinstall"
+
+    switch_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class RegroupStartEvent(TraceEvent):
+    """A regrouping trigger fired and IncUpdate is about to run.
+
+    ``trigger`` is the first trigger that fired (same precedence as the
+    applied decision's reason); ``churn_pending`` is the churn accumulated
+    since the last applied update — the attribution input.
+    """
+
+    event: ClassVar[str] = "regroup_start"
+
+    trigger: str
+    churn_pending: int
+    workload_rps: float
+
+
+@dataclass(frozen=True, slots=True)
+class RegroupFinishEvent(TraceEvent):
+    """IncUpdate finished; pairs with the preceding ``regroup_start``."""
+
+    event: ClassVar[str] = "regroup_finish"
+
+    applied: bool
+    reason: str
+    churn_attributed: bool
+    group_count: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnAppliedEvent(TraceEvent):
+    """One churn process fired; ``applied`` is 0 when the event was a no-op."""
+
+    event: ClassVar[str] = "churn"
+
+    kind: str
+    applied: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkDrainedEvent(TraceEvent):
+    """The replayer finished one stream chunk of ``flows`` arrivals."""
+
+    event: ClassVar[str] = "chunk_drained"
+
+    index: int
+    flows: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayTickEvent(TraceEvent):
+    """One periodic housekeeping tick of the replay."""
+
+    event: ClassVar[str] = "replay_tick"
+
+    index: int
+
+
+#: Wire name -> event class, for schema validation and exporters.
+EVENT_TYPES: Dict[str, type] = {
+    cls.event: cls
+    for cls in (
+        PacketInEvent,
+        FlowInstallEvent,
+        FlowRemovedEvent,
+        EvictionEvent,
+        OverflowEvent,
+        ReinstallEvent,
+        RegroupStartEvent,
+        RegroupFinishEvent,
+        ChurnAppliedEvent,
+        ChunkDrainedEvent,
+        ReplayTickEvent,
+    )
+}
+
+#: High-volume event names that ``--trace-sample`` thins.  Lifecycle events
+#: (regroups, churn, chunks, ticks) are always written: there are O(ticks) of
+#: them per run and dropping one would break span pairing in the exporter.
+SAMPLED_EVENTS = frozenset(
+    ("packet_in", "flow_install", "flow_removed", "eviction", "overflow", "reinstall")
+)
+
+#: Envelope keys the serializer adds around an event's own fields.  ``time``
+#: is not listed: it is a field of every event and validated via the schema.
+_ENVELOPE_REQUIRED = ("event", "system")
+_ENVELOPE_OPTIONAL = ("seq", "scenario")
+
+
+def _json_types(annotation: Any) -> Tuple[Tuple[type, ...], bool]:
+    """Map a field annotation to ``(accepted JSON types, allows None)``."""
+    allows_none = False
+    if get_origin(annotation) is not None:
+        members = [arg for arg in get_args(annotation) if arg is not type(None)]
+        allows_none = len(members) != len(get_args(annotation))
+        if len(members) != 1:
+            raise TypeError(f"unsupported event field annotation {annotation!r}")
+        annotation = members[0]
+    if annotation is bool:
+        return (bool,), allows_none
+    if annotation is int:
+        return (int,), allows_none
+    if annotation is float:
+        return (int, float), allows_none
+    if annotation is str:
+        return (str,), allows_none
+    raise TypeError(f"unsupported event field annotation {annotation!r}")
+
+
+def _build_schemas() -> Dict[str, Dict[str, Tuple[Tuple[type, ...], bool]]]:
+    schemas = {}
+    for name, cls in EVENT_TYPES.items():
+        hints = get_type_hints(cls)
+        schemas[name] = {
+            field.name: _json_types(hints[field.name]) for field in fields(cls)
+        }
+    return schemas
+
+
+#: Per-event field schema: ``{event: {field: ((json types...), allows_none)}}``.
+EVENT_SCHEMAS = _build_schemas()
+
+
+def event_to_dict(
+    event: TraceEvent,
+    *,
+    system: str = "",
+    seq: Optional[int] = None,
+    scenario: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serialize one event into its self-describing JSONL record.
+
+    ``seq`` is the pre-sampling per-(system, event-type) index of the event,
+    so consumers of a sampled stream can recover both the sampling positions
+    and the true event count (``last seq + 1``).
+    """
+    record: Dict[str, Any] = {"event": type(event).event, "system": system}
+    if scenario is not None:
+        record["scenario"] = scenario
+    if seq is not None:
+        record["seq"] = seq
+    for field in fields(event):
+        record[field.name] = getattr(event, field.name)
+    return record
+
+
+def validate_event_dict(record: Any) -> None:
+    """Validate one deserialized JSONL record against the event schema.
+
+    Raises :class:`~repro.common.errors.ReproError` on an unknown event
+    name, a missing or unknown key, or a JSON-type mismatch.
+    """
+    if not isinstance(record, dict):
+        raise ReproError(f"event record must be a JSON object, got {type(record).__name__}")
+    name = record.get("event")
+    if name not in EVENT_SCHEMAS:
+        known = ", ".join(sorted(EVENT_SCHEMAS))
+        raise ReproError(f"unknown event {name!r}; known events: {known}")
+    schema = EVENT_SCHEMAS[name]
+    for key in _ENVELOPE_REQUIRED:
+        if key not in record:
+            raise ReproError(f"{name}: missing required key {key!r}")
+    if not isinstance(record["system"], str):
+        raise ReproError(f"{name}: 'system' must be a string")
+    if "seq" in record and (isinstance(record["seq"], bool) or not isinstance(record["seq"], int)):
+        raise ReproError(f"{name}: 'seq' must be an integer")
+    if "scenario" in record and not isinstance(record["scenario"], str):
+        raise ReproError(f"{name}: 'scenario' must be a string")
+    envelope = set(_ENVELOPE_REQUIRED) | set(_ENVELOPE_OPTIONAL)
+    for key, value in record.items():
+        if key in envelope:
+            continue
+        if key not in schema:
+            valid = ", ".join(sorted(schema))
+            raise ReproError(f"{name}: unknown key {key!r}; valid keys: {valid}")
+        accepted, allows_none = schema[key]
+        if value is None:
+            if not allows_none:
+                raise ReproError(f"{name}: key {key!r} must not be null")
+            continue
+        if isinstance(value, bool) and bool not in accepted:
+            raise ReproError(f"{name}: key {key!r} has wrong type bool")
+        if not isinstance(value, accepted):
+            raise ReproError(
+                f"{name}: key {key!r} has wrong type {type(value).__name__}"
+            )
+    missing = sorted(key for key in schema if key not in record)
+    if missing:
+        keys = ", ".join(repr(key) for key in missing)
+        raise ReproError(f"{name}: missing field{'s' if len(missing) > 1 else ''} {keys}")

@@ -1,0 +1,252 @@
+"""Exporters over the structured-event stream.
+
+The Chrome trace-event exporter turns a ``--events-out`` JSONL file into the
+JSON object format Perfetto and ``chrome://tracing`` load directly: one
+process per system under test, one named thread per subsystem (controller,
+tables, grouping, churn, replay), instants for point events and ``B``/``E``
+spans for ``regroup_start``/``regroup_finish`` pairs.  Timestamps are
+*simulation* microseconds, so the Perfetto timeline reads as the replayed
+day.
+
+A ``repro profile --out`` snapshot file can be merged in: each system's
+:class:`~repro.perf.report.PerfSnapshot` stages are laid out as consecutive
+complete (``X``) spans on a dedicated thread.  The recorder only keeps
+per-stage aggregates (not individual entries), so these spans show relative
+host-time cost side by side with the simulation-time event stream rather
+than real span placement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.obs.events import validate_event_dict
+
+#: Thread ids (and display names) per event family within a system's process.
+_EVENT_THREADS = {
+    "packet_in": (1, "controller"),
+    "flow_install": (1, "controller"),
+    "flow_removed": (1, "controller"),
+    "eviction": (2, "tables"),
+    "overflow": (2, "tables"),
+    "reinstall": (2, "tables"),
+    "regroup_start": (3, "grouping"),
+    "regroup_finish": (3, "grouping"),
+    "churn": (4, "churn"),
+    "chunk_drained": (5, "replay"),
+    "replay_tick": (5, "replay"),
+}
+
+#: Thread id of the merged perf-stage spans.
+_PERF_TID = 99
+
+_ENVELOPE_KEYS = frozenset(("event", "time", "system", "seq", "scenario"))
+
+
+def read_events(path: str | Path) -> Iterator[Dict[str, Any]]:
+    """Iterate the validated records of one events JSONL file.
+
+    Blank lines are skipped; a malformed or schema-violating line raises
+    :class:`~repro.common.errors.ReproError` naming the line number.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(f"{path}:{number}: not valid JSON ({error})") from error
+            try:
+                validate_event_dict(record)
+            except ReproError as error:
+                raise ReproError(f"{path}:{number}: {error}") from error
+            yield record
+
+
+def chrome_trace(
+    events: Iterable[Dict[str, Any]],
+    *,
+    profile: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for a validated event stream.
+
+    ``profile`` is the payload of ``repro profile --out`` (a list of
+    ``{"scenario", "system", "perf"}`` records) whose stage aggregates are
+    appended as complete spans.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    named_threads: set = set()
+
+    def pid_for(system: str) -> int:
+        pid = pids.get(system)
+        if pid is None:
+            pid = pids[system] = len(pids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": system or "run"},
+                }
+            )
+        return pid
+
+    def thread_for(system: str, tid: int, name: str) -> None:
+        if (system, tid) in named_threads:
+            return
+        named_threads.add((system, tid))
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pids[system],
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    for record in events:
+        name = record["event"]
+        system = record.get("system", "")
+        tid, thread_name = _EVENT_THREADS.get(name, (9, "other"))
+        pid = pid_for(system)
+        thread_for(system, tid, thread_name)
+        args = {
+            key: value for key, value in record.items() if key not in _ENVELOPE_KEYS
+        }
+        if "seq" in record:
+            args["seq"] = record["seq"]
+        entry: Dict[str, Any] = {
+            "name": name,
+            "cat": thread_name,
+            "pid": pid,
+            "tid": tid,
+            "ts": record["time"] * 1e6,
+            "args": args,
+        }
+        if name == "regroup_start":
+            entry["ph"] = "B"
+            entry["name"] = "regroup"
+        elif name == "regroup_finish":
+            entry["ph"] = "E"
+            entry["name"] = "regroup"
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+
+    for snapshot in profile or []:
+        system = str(snapshot.get("system", "profile"))
+        perf = snapshot.get("perf") or {}
+        pid = pid_for(system)
+        thread_for(system, _PERF_TID, "perf stages (host time, aggregated)")
+        cursor = 0.0
+        for stage in perf.get("stages", []):
+            duration_us = float(stage.get("total_seconds", 0.0)) * 1e6
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": str(stage.get("name", "stage")),
+                    "cat": "perf",
+                    "pid": pid,
+                    "tid": _PERF_TID,
+                    "ts": cursor,
+                    "dur": duration_us,
+                    "args": {
+                        "calls": stage.get("calls", 0),
+                        "exclusive_seconds": stage.get("exclusive_seconds", 0.0),
+                    },
+                }
+            )
+            cursor += duration_us
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulation-time", "source": "repro trace-export"},
+    }
+
+
+def write_chrome_trace(
+    events_path: str | Path,
+    out_path: str | Path,
+    *,
+    profile_path: Optional[str | Path] = None,
+) -> Tuple[int, int]:
+    """Convert one events JSONL file into a Chrome trace JSON file.
+
+    Returns ``(validated event lines, trace entries written)``.
+    """
+    profile = None
+    if profile_path is not None:
+        profile = json.loads(Path(profile_path).read_text(encoding="utf-8"))
+        if not isinstance(profile, list):
+            raise ReproError(
+                f"{profile_path}: expected the JSON list written by 'repro profile --out'"
+            )
+    event_count = 0
+
+    def counted() -> Iterator[Dict[str, Any]]:
+        nonlocal event_count
+        for record in read_events(events_path):
+            event_count += 1
+            yield record
+
+    payload = chrome_trace(counted(), profile=profile)
+    Path(out_path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return event_count, len(payload["traceEvents"])
+
+
+_VALID_PHASES = frozenset(("B", "E", "X", "i", "I", "M", "C"))
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Validate a Chrome trace object the way a loader would; returns entry count.
+
+    Checks the JSON-object container format: a ``traceEvents`` list whose
+    entries carry a phase, a name, pid/tid integers and (for non-metadata
+    phases) a numeric timestamp — plus balanced ``B``/``E`` nesting per
+    (pid, tid), which is what actually breaks a Perfetto import.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ReproError("chrome trace must be an object with a 'traceEvents' list")
+    open_spans: Dict[Tuple[int, int], int] = {}
+    for index, entry in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            raise ReproError(f"{where}: not an object")
+        phase = entry.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ReproError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(entry.get("name"), str):
+            raise ReproError(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if isinstance(entry.get(key), bool) or not isinstance(entry.get(key), int):
+                raise ReproError(f"{where}: {key!r} must be an integer")
+        if phase != "M":
+            ts = entry.get("ts")
+            if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+                raise ReproError(f"{where}: 'ts' must be a number")
+        if phase == "X":
+            dur = entry.get("dur")
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)) or dur < 0:
+                raise ReproError(f"{where}: 'dur' must be a non-negative number")
+        key = (entry.get("pid"), entry.get("tid"))
+        if phase == "B":
+            open_spans[key] = open_spans.get(key, 0) + 1
+        elif phase == "E":
+            depth = open_spans.get(key, 0)
+            if depth <= 0:
+                raise ReproError(f"{where}: 'E' without a matching 'B' on pid/tid {key}")
+            open_spans[key] = depth - 1
+    unbalanced = {key: depth for key, depth in open_spans.items() if depth}
+    if unbalanced:
+        raise ReproError(f"unbalanced 'B' spans left open on pid/tid: {sorted(unbalanced)}")
+    return len(payload["traceEvents"])

@@ -53,8 +53,20 @@ class PerfSnapshot:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PerfSnapshot":
-        """Rebuild a snapshot from :meth:`to_dict` output."""
-        return dataclass_from_dict(cls, data)
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        Hand-written or legacy payloads sometimes carry ``"counters": null``
+        or ``"gauges": null`` where this writer omits the key; both mean "no
+        registry collected" and load as the empty dict.  An explicit
+        ``{"g": 0.0}`` keeps its recorded zero — absence and zero are
+        different facts about a run and must round-trip as such.
+        """
+        cleaned = {
+            key: value
+            for key, value in data.items()
+            if value is not None or key not in ("counters", "gauges")
+        }
+        return dataclass_from_dict(cls, cleaned)
 
 
 def format_stage_breakdown(snapshot: PerfSnapshot, *, label: str = "") -> str:

@@ -36,6 +36,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence
 
+from repro.obs.events import ChunkDrainedEvent, ReplayTickEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.perf.recorder import NULL_RECORDER
 from repro.traffic.flow import FlowRecord
 from repro.traffic.stream import FlowStream, windowed_chunks
@@ -88,6 +90,7 @@ class TraceReplayer:
         periodic_callbacks: Optional[List[PeriodicCallback]] = None,
         event_engine: "SimulationEngine | None" = None,
         perf=NULL_RECORDER,
+        tracer=NULL_TRACER,
     ) -> None:
         if periodic_interval <= 0:
             raise ValueError("periodic_interval must be positive")
@@ -97,6 +100,7 @@ class TraceReplayer:
         self._callbacks: List[PeriodicCallback] = list(periodic_callbacks or [])
         self._engine = event_engine
         self._perf = perf
+        self._tracer = tracer
 
     def add_periodic_callback(self, callback: PeriodicCallback) -> None:
         """Register an additional housekeeping callback."""
@@ -125,6 +129,7 @@ class TraceReplayer:
         interval = self._interval
         perf = self._perf
         engine = self._engine
+        tracer = self._tracer
         handle = self._sink.handle_flow_arrival
         next_tick = start + interval
         last_arrival: Optional[float] = None
@@ -158,6 +163,16 @@ class TraceReplayer:
                     next_tick += interval
             if total:
                 last_arrival = start_times[-1]
+            if tracer.enabled:
+                # Stamped with the chunk's last arrival: the simulation time
+                # at which the chunk was fully drained.
+                tracer.emit(
+                    ChunkDrainedEvent(
+                        time=last_arrival if last_arrival is not None else start,
+                        index=progress.chunks_drained - 1,
+                        flows=total,
+                    )
+                )
 
         if end is not None:
             window_end = end
@@ -196,6 +211,10 @@ class TraceReplayer:
             for callback in self._callbacks:
                 callback(now)
         progress.periodic_invocations += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                ReplayTickEvent(time=now, index=progress.periodic_invocations - 1)
+            )
 
     def _advance_engine(self, now: float) -> None:
         """Dispatch all coupled-engine events scheduled up to ``now``."""

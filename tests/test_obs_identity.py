@@ -1,0 +1,69 @@
+"""Property tests: tracing must never change what a run computes.
+
+The observability acceptance contract — a run with the default
+:data:`~repro.obs.tracer.NULL_TRACER` and a fully traced run (events JSONL +
+timeline) produce bit-identical results: same counters, same workload and
+latency series, same table stats, same churn accounting.  Only the
+``timeline`` field (absent untraced, present traced) may differ.
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.presets import get_preset
+from repro.core.runner import ScenarioRunner
+from repro.obs.export import read_events
+from repro.obs.tracer import TraceOptions
+
+#: Presets covering the distinct replay shapes: the paper comparison, finite
+#: tables under pressure (streamed), and active churn.
+PRESET_NAMES = ("paper-fig7", "table-pressure", "churn-migration")
+
+
+def small_spec(preset_name: str):
+    """The preset's first scenario scaled down to property-test size."""
+    spec = get_preset(preset_name).specs()[0]
+    return dataclasses.replace(
+        spec,
+        traffic=spec.traffic.with_params(total_flows=800),
+        schedule=dataclasses.replace(spec.schedule, duration_hours=3.0),
+    )
+
+
+@settings(max_examples=3, deadline=None)
+@given(preset_name=st.sampled_from(PRESET_NAMES))
+def test_traced_run_is_bit_identical_to_untraced(preset_name):
+    spec = small_spec(preset_name)
+    untraced = ScenarioRunner().run(spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        events_path = str(Path(tmp) / "events.jsonl")
+        traced = ScenarioRunner().run(
+            spec, obs=TraceOptions(events_path=events_path, sample=0.5, timeline=True)
+        )
+        assert list(read_events(events_path))  # the trace actually streamed
+    assert set(untraced.runs) == set(traced.runs)
+    for name in untraced.runs:
+        plain = untraced.runs[name].to_dict()
+        observed = traced.runs[name].to_dict()
+        assert plain.pop("timeline") is None
+        assert observed.pop("timeline") is not None
+        assert plain == observed
+
+
+@settings(max_examples=3, deadline=None)
+@given(preset_name=st.sampled_from(PRESET_NAMES))
+def test_traced_perf_counters_match_untraced(preset_name):
+    spec = small_spec(preset_name)
+    untraced = ScenarioRunner().run(spec, collect_perf=True)
+    traced = ScenarioRunner().run(spec, collect_perf=True, obs=TraceOptions(timeline=True))
+    for name in untraced.runs:
+        plain, observed = untraced.runs[name].perf, traced.runs[name].perf
+        assert plain.counters == observed.counters
+        # Stage order follows wall-time cost, which is noise; the set of
+        # (stage, calls) pairs is the deterministic part.
+        assert {(s.name, s.calls) for s in plain.stages} == {
+            (s.name, s.calls) for s in observed.stages
+        }

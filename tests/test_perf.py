@@ -116,6 +116,23 @@ class TestPerfSnapshotSerialization:
         del data["gauges"]
         assert PerfSnapshot.from_dict(data).gauges == {}
 
+    def test_null_registries_load_as_empty_but_zero_gauge_is_preserved(self):
+        """Absence and zero are different facts and must round-trip as such.
+
+        A legacy/hand-written ``"gauges": null`` means "nothing collected"
+        and loads as ``{}``; an explicit ``{"g": 0.0}`` is a recorded
+        measurement of zero and must survive untouched.
+        """
+        base = {"wall_seconds": 1.0, "flows_replayed": 1, "flows_per_second": 1.0}
+        nulled = PerfSnapshot.from_dict({**base, "counters": None, "gauges": None})
+        assert nulled.counters == {} and nulled.gauges == {}
+        zeroed = PerfSnapshot.from_dict({**base, "gauges": {"g": 0.0}})
+        assert zeroed.gauges == {"g": 0.0}
+        assert zeroed.gauges != nulled.gauges or "g" in zeroed.gauges
+        # The writer side never emits null: an empty registry serializes as
+        # an empty object, keeping absence representable.
+        assert PerfSnapshot(**base).to_dict()["gauges"] == {}
+
     def test_counters_survive_scenario_result_round_trip(self):
         result = ScenarioRunner().run(small_spec(), collect_perf=True)
         revived = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
@@ -259,9 +276,20 @@ class TestBaselineComparison:
         current, baseline = payload(), payload()
         baseline["peak_rss_bytes"] = 50_000_000
         current["peak_rss_bytes"] = 500_000_000
+        current["streaming"] = True
         check = compare_payloads(current, baseline)
         assert check.ok
         assert any("peak_rss_bytes" in note for note in check.notes)
+
+    def test_peak_rss_blowup_silent_when_not_streaming(self):
+        # A materialized replay holds the whole trace resident, so its RSS
+        # says nothing about the chunked path's memory bound: no note.
+        current, baseline = payload(), payload()
+        baseline["peak_rss_bytes"] = 50_000_000
+        current["peak_rss_bytes"] = 500_000_000
+        check = compare_payloads(current, baseline)
+        assert check.ok
+        assert check.notes == []
 
     def test_peak_rss_within_band_is_silent(self):
         current, baseline = payload(), payload()
