@@ -22,9 +22,15 @@ JSON scenario spec (written with ``ScenarioSpec.save`` or by hand).  Common
 spec fields can be overridden from the command line (``--flows``,
 ``--switches``, ``--hosts``, ``--duration-hours``, ``--systems``, ``--seed``,
 ``--traffic``, ``--topology``, ``--churn-rate``, ``--churn-seed``,
-``--table-capacity``/``--table-policy`` for finite-flow-table pressure,
-``--stream`` for the bounded-memory chunked replay path) and
-multi-scenario presets fan out over ``--workers`` processes.  ``--traffic``
+``--table-capacity``/``--table-policy`` for finite-flow-table pressure).
+``--exec`` overrides the spec's :class:`~repro.replay.spec.ExecutionSpec`
+— *how* the replay runs — as ``key=value`` pairs or a JSON object::
+
+    python -m repro run paper-fig7-10m --exec workers=4,shard-strategy=time-window,shard-count=8
+    python -m repro bench --presets paper-fig7 --exec '{"workers": 4}'
+
+(``--stream`` remains as shorthand for ``--exec stream=true``.)
+Multi-scenario presets fan out over ``--workers`` processes.  ``--traffic``
 and ``--topology`` swap in any registered traffic model or topology shape by
 name, carrying the old spec's dimensions over where the new shape supports
 them.  ``bench`` replays the benchmark presets and writes one
@@ -66,6 +72,7 @@ from repro.obs.timeline import render_timeline
 from repro.obs.tracer import TraceOptions
 from repro.perf.baseline import check_against_baselines
 from repro.perf.recorder import peak_rss_bytes
+from repro.replay.spec import ExecutionSpec
 from repro.perf.report import format_stage_breakdown
 from repro.tables.registry import available_table_policies
 from repro.tables.spec import TableSpec
@@ -78,7 +85,7 @@ BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
 #: Scale-smoke presets benchmarked by their own (non-gating) CI job rather
 #: than the default list: they take minutes, so a full default run must not
 #: flag their committed baselines as stale.
-SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "table-pressure")
+SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "paper-fig7-100m", "table-pressure")
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -177,9 +184,11 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
     if args.systems is not None:
         systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
 
-    stream = spec.stream
+    execution = spec.execution
+    if getattr(args, "exec_spec", None) is not None:
+        execution = ExecutionSpec.parse(args.exec_spec, base=execution)
     if getattr(args, "stream", None) is not None:
-        stream = args.stream
+        execution = dataclasses.replace(execution, stream=args.stream)
 
     tables = spec.tables
     if getattr(args, "table_policy", None) is not None:
@@ -216,7 +225,7 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         systems=systems,
         config=config,
         churn=churn,
-        stream=stream,
+        execution=execution,
         tables=tables,
     )
 
@@ -263,7 +272,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         results = [ScenarioRunner().run(specs[0], obs=obs)]
         print(f"Events written to {args.events_out}\n")
     else:
-        results = ScenarioRunner().run_many(specs, workers=args.workers)
+        fan_out = ExecutionSpec(workers=args.workers) if args.workers else None
+        results = ScenarioRunner().run_many(specs, execution=fan_out)
     for index, result in enumerate(results):
         if index:
             print()
@@ -382,7 +392,7 @@ def _bench_payload(
             }
         systems[name] = record
     switches, hosts = result.spec.topology.dimensions()
-    return {
+    payload = {
         "scenario": result.spec.name,
         "preset": preset_name,
         "runtime_seconds": runtime_seconds,
@@ -397,6 +407,25 @@ def _bench_payload(
         "peak_rss_bytes": peak_rss,
         "systems": systems,
     }
+    if result.shards is not None:
+        critical_path = result.shards["critical_path_seconds"]
+        payload["execution"] = {
+            **result.spec.execution.to_dict(),
+            "strategy": result.shards["strategy"],
+            "pooled": result.shards["pooled"],
+            "windows_per_system": result.shards["windows_per_system"],
+            "shard_walls_seconds": result.shards["shard_walls_seconds"],
+            "critical_path_seconds": critical_path,
+            "total_shard_seconds": result.shards["total_shard_seconds"],
+            # Throughput of an ideally parallel run (every worker its own
+            # core): total flows over the slowest shard's wall.  On a box
+            # with fewer cores than workers the shards time-slice and
+            # ``flows_per_second`` above stays the honest measured number.
+            "parallel_flows_per_second": (
+                total_flows_replayed / critical_path if critical_path > 0 else 0.0
+            ),
+        }
+    return payload
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -585,10 +614,20 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration-hours", type=float, default=None, help="override replay duration")
     parser.add_argument("--systems", default=None, help="comma-separated control-plane names")
     parser.add_argument(
+        "--exec",
+        dest="exec_spec",
+        default=None,
+        metavar="SPEC",
+        help="override the execution spec as key=value pairs "
+        "(workers, shard-strategy, shard-count, chunk-flows, stream) or a "
+        "JSON object, e.g. --exec workers=4,shard-strategy=time-window",
+    )
+    parser.add_argument(
         "--stream",
         action=argparse.BooleanOptionalAction,
         default=None,
-        help="generate and replay the trace chunk-by-chunk in bounded memory "
+        help="generate and replay the trace chunk-by-chunk in bounded memory; "
+        "shorthand for --exec stream=true "
         "(--no-stream forces the materialized path on streaming presets)",
     )
     parser.add_argument(

@@ -7,9 +7,13 @@ under a memorable name:
   LazyCtrl variants) at laptop scale;
 * ``paper-fig7-expanded`` — the same replay on the §V-D expanded trace
   (+30 % flows among previously silent pairs);
-* ``paper-fig7-10m`` — the same workload at 10 million flows with
-  ``stream=True``: generated and replayed chunk by chunk in bounded memory
-  (the scaling smoke behind ``BENCH_paper-fig7-10m.json``);
+* ``paper-fig7-10m`` — the same workload at 10 million flows with a
+  streaming :class:`~repro.replay.spec.ExecutionSpec`: generated and
+  replayed chunk by chunk in bounded memory (the scaling smoke behind
+  ``BENCH_paper-fig7-10m.json``);
+* ``paper-fig7-100m`` — the same workload at 100 million flows, streamed
+  *and* sharded into bucket-aligned time windows replayed by a worker
+  pool (the scaling headline behind ``BENCH_paper-fig7-100m.json``);
 * ``failover`` — a failover storm: designated-switch failures injected at
   two points of the day while the trace replays;
 * ``scale-sweep`` — the same workload density at three topology scales, a
@@ -52,6 +56,7 @@ from repro.core.scenario import (
     TopologySpec,
     TraceSpec,
 )
+from repro.replay.spec import ExecutionSpec
 from repro.tables.spec import TableSpec
 from repro.topology.builder import TopologyProfile
 from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec
@@ -99,8 +104,8 @@ def _paper_fig7_10m() -> Tuple[ScenarioSpec, ...]:
 
     Runs the single most interesting control plane (dynamic LazyCtrl) so the
     smoke finishes in minutes; add systems back via ``--systems`` when
-    comparing.  ``stream=True`` is the point: the trace is generated and
-    replayed chunk by chunk, so peak memory is bounded by the chunk size
+    comparing.  The streaming execution is the point: the trace is generated
+    and replayed chunk by chunk, so peak memory is bounded by the chunk size
     instead of the 10M-record trace.
     """
     spec = _paper_fig7()[0]
@@ -110,7 +115,36 @@ def _paper_fig7_10m() -> Tuple[ScenarioSpec, ...]:
             name="paper-fig7-10m",
             traffic=TraceSpec.realistic(total_flows=10_000_000, seed=2015),
             systems=("lazyctrl-dynamic",),
-            stream=True,
+            execution=ExecutionSpec(stream=True),
+        ),
+    )
+
+
+def _paper_fig7_100m() -> Tuple[ScenarioSpec, ...]:
+    """The Fig. 7 workload at 100 million flows: streamed *and* sharded.
+
+    Streaming alone bounds memory but leaves a single core replaying for
+    hours; the time-window execution splits the day into twelve
+    single-bucket windows replayed by four workers, each against its own
+    control-plane state, and merges the per-shard results exactly.  One
+    window per bucket is the finest split the 2 h result buckets allow,
+    and it matters: the diurnal peak makes business-hour windows several
+    times heavier than the overnight ones, so coarser windows leave the
+    critical path — and with it ``parallel_flows_per_second`` — dominated
+    by one hot shard.  The merged counters are deterministic across
+    worker counts, so the committed baseline gates correctness as well as
+    throughput.
+    """
+    spec = _paper_fig7()[0]
+    return (
+        dataclasses.replace(
+            spec,
+            name="paper-fig7-100m",
+            traffic=TraceSpec.realistic(total_flows=100_000_000, seed=2015),
+            systems=("lazyctrl-dynamic",),
+            execution=ExecutionSpec(
+                workers=4, shard_strategy="time-window", shard_count=12, stream=True
+            ),
         ),
     )
 
@@ -241,7 +275,7 @@ def _table_pressure() -> Tuple[ScenarioSpec, ...]:
             traffic=TraceSpec.realistic(total_flows=1_000_000, seed=2015),
             systems=("openflow", "lazyctrl-dynamic"),
             config=default_grouping_config(48),
-            stream=True,
+            execution=ExecutionSpec(stream=True),
             tables=TableSpec(
                 capacity=32,
                 policy="idle-hard-hybrid",
@@ -352,6 +386,11 @@ _PRESETS: Dict[str, Preset] = {
             name="paper-fig7-10m",
             description="Fig. 7 workload at 10M flows, streamed chunk-by-chunk in bounded memory",
             build=_paper_fig7_10m,
+        ),
+        Preset(
+            name="paper-fig7-100m",
+            description="Fig. 7 workload at 100M flows, streamed and sharded over a worker pool",
+            build=_paper_fig7_100m,
         ),
         Preset(
             name="failover",

@@ -22,7 +22,7 @@ core code:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Protocol, runtime_checkable
+from typing import Callable, List, Protocol, Sequence, runtime_checkable
 
 from repro.common.config import LazyCtrlConfig
 from repro.common.registry import NamedRegistry
@@ -42,12 +42,13 @@ class ControlPlane(Protocol):
     is what the runner needs to provision the design and collect a
     :class:`~repro.core.results.RunResult` afterwards.
 
-    Two optional extensions are discovered by ``hasattr``: designs exposing
-    ``inject_failures`` receive the spec's failure storms, and designs
-    exposing the churn hooks (``churn_migrate_host``,
-    ``churn_tenant_arrival``, ``churn_tenant_departure`` — see
-    :class:`repro.churn.processes.ChurnTarget`) experience the scenario's
-    workload dynamics.  Designs without them simply run on a frozen
+    One optional extension is discovered by ``hasattr``: designs exposing
+    ``inject_failures`` receive the spec's failure storms.  Workload churn
+    is opted into *explicitly*: register the design with
+    ``register_control_plane(..., churn_aware=True)`` and implement the
+    :class:`ChurnAware` hooks.  (Designs that implement the hooks without
+    declaring ``churn_aware`` still receive churn through a deprecation
+    shim in the runner.)  Designs without either simply run on a frozen
     topology.
     """
 
@@ -79,6 +80,30 @@ class ControlPlane(Protocol):
         ...
 
 
+@runtime_checkable
+class ChurnAware(Protocol):
+    """The churn hooks a control plane implements to experience workload dynamics.
+
+    The signatures mirror :class:`repro.churn.processes.ChurnTarget` (the
+    scheduler-side view).  Implementing them is only half the contract:
+    the design must also be registered with ``churn_aware=True`` so the
+    runner applies churn by declaration rather than by ``hasattr``
+    discovery.
+    """
+
+    def churn_migrate_host(self, host_id: int, new_switch_id: int, *, now: float) -> None:
+        """Move a host (VM) to a new edge switch at simulation time ``now``."""
+        ...
+
+    def churn_tenant_arrival(self, name: str, placements: Sequence[int], *, now: float) -> int:
+        """Provision a new tenant with hosts on ``placements``; returns its id."""
+        ...
+
+    def churn_tenant_departure(self, tenant_id: int, *, now: float) -> int:
+        """Remove a tenant and all its hosts; returns the number removed."""
+        ...
+
+
 #: Builds a control plane for one network; called once per (system, trace) run.
 ControlPlaneFactory = Callable[..., ControlPlane]
 
@@ -91,6 +116,9 @@ class ControlPlaneEntry:
     factory: ControlPlaneFactory
     label: str
     description: str = ""
+    #: Declares that the design implements the :class:`ChurnAware` hooks and
+    #: wants the scenario's workload dynamics applied to it.
+    churn_aware: bool = False
 
     def build(
         self,
@@ -122,6 +150,7 @@ def register_control_plane(
     label: str | None = None,
     description: str = "",
     replace: bool = False,
+    churn_aware: bool = False,
 ) -> Callable[[ControlPlaneFactory], ControlPlaneFactory]:
     """Register a control-plane factory under ``name``.
 
@@ -132,6 +161,9 @@ def register_control_plane(
         @register_control_plane("my-design", label="My design")
         def build_my_design(network, *, config=None, **buckets):
             return MyDesign(network, config=config, **buckets)
+
+    Pass ``churn_aware=True`` when the design implements the
+    :class:`ChurnAware` hooks and should experience scenario churn.
     """
     _REGISTRY.validate_name(name)
 
@@ -143,6 +175,7 @@ def register_control_plane(
                 factory=factory,
                 label=label or name,
                 description=description,
+                churn_aware=churn_aware,
             ),
             replace=replace,
         )
@@ -176,6 +209,7 @@ def _register_builtin_control_planes() -> None:
         "openflow",
         label="OpenFlow",
         description="Reactive centralized baseline: every table miss goes to the controller",
+        churn_aware=True,
     )
     def _build_openflow(network, *, config=None, workload_bucket_seconds=7200.0, latency_bucket_seconds=7200.0):
         return OpenFlowSystem(
@@ -189,6 +223,7 @@ def _register_builtin_control_planes() -> None:
         "lazyctrl-static",
         label="LazyCtrl (static)",
         description="LazyCtrl with the initial grouping frozen (no IncUpdate)",
+        churn_aware=True,
     )
     def _build_lazyctrl_static(network, *, config=None, workload_bucket_seconds=7200.0, latency_bucket_seconds=7200.0):
         return LazyCtrlSystem(
@@ -203,6 +238,7 @@ def _register_builtin_control_planes() -> None:
         "lazyctrl-dynamic",
         label="LazyCtrl (dynamic)",
         description="LazyCtrl with incremental grouping updates enabled",
+        churn_aware=True,
     )
     def _build_lazyctrl_dynamic(network, *, config=None, workload_bucket_seconds=7200.0, latency_bucket_seconds=7200.0):
         return LazyCtrlSystem(

@@ -14,13 +14,15 @@ control plane over an already-built trace; the legacy
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import multiprocessing
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.churn.scheduler import ChurnScheduler
 from repro.churn.spec import ChurnSpec
@@ -38,6 +40,10 @@ from repro.obs.timeline import MetricsTimeline, TimelineResult
 from repro.obs.tracer import NULL_TRACER, EventTracer, JsonlEventListener, TraceOptions
 from repro.perf.recorder import NULL_RECORDER, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot
+from repro.replay.executor import can_fork_workers, execute_plan
+from repro.replay.merge import merge_outcomes
+from repro.replay.sharding import plan_shards
+from repro.replay.spec import ExecutionSpec
 from repro.simulation.engine import SimulationEngine
 from repro.traffic.replay import TraceReplayer
 from repro.traffic.stream import FlowStream
@@ -50,6 +56,10 @@ class ScenarioResult:
 
     spec: ScenarioSpec
     runs: Dict[str, RunResult]
+    #: Shard-execution telemetry (strategy, per-shard walls, critical path);
+    #: ``None`` for a serial run, so pre-sharding serialized results and the
+    #: serial byte format are unchanged.
+    shards: Optional[Dict[str, Any]] = None
 
     # -- lookups -------------------------------------------------------------
 
@@ -84,10 +94,13 @@ class ScenarioResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of spec and runs."""
-        return {
+        payload: Dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "runs": {name: run.to_dict() for name, run in self.runs.items()},
         }
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
@@ -95,6 +108,7 @@ class ScenarioResult:
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             runs={name: RunResult.from_dict(run) for name, run in data["runs"].items()},
+            shards=data.get("shards"),
         )
 
     def save(self, path: str | Path) -> Path:
@@ -134,8 +148,16 @@ class ScenarioRunner:
         *,
         collect_perf: bool = False,
         obs: Optional[TraceOptions] = None,
+        execution: Optional[ExecutionSpec] = None,
     ) -> ScenarioResult:
         """Materialize ``spec`` and run every selected control plane on it.
+
+        ``spec.execution`` (overridable per call via ``execution=``) decides
+        *how*: the default serial path, a process pool over per-system
+        shards, or bucket-aligned time-window shards merged deterministically
+        (see :mod:`repro.replay`).  The per-system (``"system"``) strategy is
+        bit-identical to the serial run for any worker count; the
+        ``"time-window"`` strategy is bit-identical across worker counts.
 
         With ``collect_perf=True`` every run is instrumented with a
         :class:`~repro.perf.recorder.PerfRecorder` and carries a
@@ -143,18 +165,20 @@ class ScenarioRunner:
 
         With an active ``obs`` every run is traced: events stream to
         ``obs.events_path`` (one shared JSONL file, lines stamped with the
-        system name) and/or a per-bucket
-        :class:`~repro.obs.timeline.TimelineResult` rides on
+        system name — this requires the per-system shard strategy) and/or a
+        per-bucket :class:`~repro.obs.timeline.TimelineResult` rides on
         ``RunResult.timeline``.  Without it every component keeps the shared
         :data:`~repro.obs.tracer.NULL_TRACER` and the replay is bit-identical
         to an untraced one.
 
-        With ``spec.stream`` set the trace is never materialized: every
-        system drains a freshly instantiated chunk stream over its own
+        With ``spec.execution.stream`` set the trace is never materialized:
+        every shard drains a freshly instantiated chunk stream over its own
         topology copy, bounding replay memory by the chunk size at the cost
-        of regenerating the flows per system (generation is deterministic,
-        so all systems still see the identical workload).
+        of regenerating the flows per shard (generation is deterministic,
+        so all shards still see the identical workload).
         """
+        if execution is not None:
+            spec = dataclasses.replace(spec, execution=execution)
         # Resolve every name up front so a typo fails before minutes of replay.
         entries = [get_control_plane(name) for name in spec.systems]
         # Fold the finite-table overlay (capacity + policy) into the config
@@ -163,6 +187,105 @@ class ScenarioRunner:
         config = spec.effective_config()
         if spec.tables is not None:
             spec.tables.resolved_params()
+        plan = plan_shards(spec)
+        obs_active = obs is not None and obs.active
+        stream_events = obs_active and obs.events_path is not None
+        if stream_events and not plan.is_serial_per_system:
+            raise ConfigurationError(
+                "events streaming needs one whole-timeline replay per system "
+                "(shard-strategy=system); time-window shards would interleave "
+                "per-shard lifecycles in the JSONL stream"
+            )
+        use_pool = plan.workers > 1 and len(plan.shards) > 1 and not stream_events and can_fork_workers()
+        if not use_pool and plan.is_serial_per_system:
+            # The classic serial path, byte for byte: one process, systems in
+            # spec order, shared materialized trace where semantics allow.
+            return self._run_serial(spec, entries, config, collect_perf=collect_perf, obs=obs)
+
+        timeline_bucket: Optional[float] = None
+        if obs_active and obs.timeline:
+            timeline_bucket = obs.timeline_bucket_seconds or spec.schedule.bucket_seconds
+        outcomes = execute_plan(
+            spec,
+            plan,
+            collect_perf=collect_perf,
+            timeline_bucket_seconds=timeline_bucket,
+            use_pool=use_pool,
+        )
+        runs: Dict[str, RunResult] = {}
+        walls: Dict[str, List[float]] = {}
+        for entry in entries:
+            system_outcomes = sorted(
+                (outcome for outcome in outcomes if outcome.shard.system == entry.name),
+                key=lambda outcome: outcome.shard.index,
+            )
+            runs[entry.name] = merge_outcomes(system_outcomes, schedule=spec.schedule)
+            walls[entry.name] = [outcome.wall_seconds for outcome in system_outcomes]
+        all_walls = [wall for system_walls in walls.values() for wall in system_walls]
+        telemetry = {
+            "strategy": plan.strategy,
+            "workers": plan.workers,
+            "pooled": use_pool,
+            "windows_per_system": plan.windows_per_system,
+            "shard_walls_seconds": walls,
+            # What a perfectly parallel run would take: the slowest shard.
+            "critical_path_seconds": max(all_walls),
+            "total_shard_seconds": sum(all_walls),
+        }
+        return ScenarioResult(spec=spec, runs=runs, shards=telemetry)
+
+    def run_many(
+        self,
+        specs: Iterable[ScenarioSpec],
+        *,
+        workers: Optional[int] = None,
+        execution: Optional[ExecutionSpec] = None,
+    ) -> List[ScenarioResult]:
+        """Run independent scenarios, fanned out over a process pool.
+
+        ``execution.workers`` sizes the fan-out across *scenarios* (each
+        spec still runs under its own ``spec.execution``).  The legacy
+        ``workers=`` keyword still works but is deprecated in favour of
+        ``execution=ExecutionSpec(workers=...)``.  With one worker (or a
+        single spec) the scenarios run serially in this process.  The
+        fan-out uses fork-start processes where available so control planes
+        registered by the calling program remain visible to the workers.
+        """
+        spec_list = list(specs)
+        if workers is not None:
+            warnings.warn(
+                "run_many(workers=...) is deprecated; pass "
+                "execution=ExecutionSpec(workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if workers < 0:
+                raise ConfigurationError("workers must be non-negative")
+        fan_out = execution.workers if execution is not None else (workers or 1)
+        if not spec_list:
+            return []
+        if fan_out <= 1 or len(spec_list) == 1 or not can_fork_workers():
+            return [self.run(spec) for spec in spec_list]
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - Windows/macOS spawn fallback
+            context = multiprocessing.get_context()
+        payloads = [spec.to_dict() for spec in spec_list]
+        with context.Pool(processes=min(fan_out, len(spec_list))) as pool:
+            results = pool.map(_run_spec_payload, payloads)
+        return [ScenarioResult.from_dict(result) for result in results]
+
+    def _run_serial(
+        self,
+        spec: ScenarioSpec,
+        entries,
+        config: LazyCtrlConfig,
+        *,
+        collect_perf: bool,
+        obs: Optional[TraceOptions],
+    ) -> ScenarioResult:
+        """One process, systems in spec order — the pre-sharding replay loop."""
         obs_active = obs is not None and obs.active
         base_trace = None if spec.stream else spec.build_trace(spec.build_network())
         runs: Dict[str, RunResult] = {}
@@ -218,36 +341,6 @@ class ScenarioRunner:
                 events_sink.close()
         return ScenarioResult(spec=spec, runs=runs)
 
-    def run_many(
-        self,
-        specs: Iterable[ScenarioSpec],
-        *,
-        workers: Optional[int] = None,
-    ) -> List[ScenarioResult]:
-        """Run independent scenarios, fanned out over ``workers`` processes.
-
-        With ``workers`` of ``None``/``0``/``1`` (or a single spec) the
-        scenarios run serially in this process.  The fan-out uses fork-start
-        processes where available so control planes registered by the calling
-        program remain visible to the workers.
-        """
-        spec_list = list(specs)
-        if workers is not None and workers < 0:
-            raise ConfigurationError("workers must be non-negative")
-        if not spec_list:
-            return []
-        if workers in (None, 0, 1) or len(spec_list) == 1:
-            return [self.run(spec) for spec in spec_list]
-
-        if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - Windows/macOS spawn fallback
-            context = multiprocessing.get_context()
-        payloads = [spec.to_dict() for spec in spec_list]
-        with context.Pool(processes=min(workers, len(spec_list))) as pool:
-            results = pool.map(_run_spec_payload, payloads)
-        return [ScenarioResult.from_dict(result) for result in results]
-
     # -- single-system replay -------------------------------------------------
 
     def replay_system(
@@ -262,6 +355,8 @@ class ScenarioRunner:
         churn: Optional[ChurnSpec] = None,
         perf: Optional[PerfRecorder] = None,
         tracer=NULL_TRACER,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
     ) -> RunResult:
         """Drive one registered control plane over a trace or chunk stream.
 
@@ -270,23 +365,65 @@ class ScenarioRunner:
         windowed ``switch_intensity`` the control plane's warm-up needs and
         both are drained through the replayer's chunked path.
 
+        ``start``/``end`` bound the replayed window (defaults: the whole
+        schedule).  The sharded executor uses them to replay one
+        bucket-aligned time window per call.
+
         ``perf`` instruments the replay: stage timings and counters are
         collected into the recorder and the resulting
         :class:`~repro.perf.report.PerfSnapshot` rides on the returned
         :class:`RunResult`.  Without it, every component keeps the shared
         null recorder and the replay is byte-for-byte the uninstrumented one.
 
-        When ``churn`` is active and the control plane exposes the churn
-        hooks, the churn events are scheduled onto a simulation engine that
-        the replayer advances in lockstep with the trace.  An inert churn
-        spec (all rates zero) is ignored entirely, so it reproduces the
-        churn-free replay bit for bit.
+        When ``churn`` is active and the control plane declares itself
+        churn-aware (``register_control_plane(..., churn_aware=True)`` plus
+        the :class:`~repro.core.registry.ChurnAware` hooks), the churn
+        events are scheduled onto a simulation engine that the replayer
+        advances in lockstep with the trace.  An inert churn spec (all
+        rates zero) is ignored entirely, so it reproduces the churn-free
+        replay bit for bit.
 
         .. warning:: Active churn mutates ``trace.network`` in place during
            the replay.  To compare systems fairly, give each call its own
            trace bound to a pristine network (rebind the flows with
            ``Trace(name, fresh_network, trace.flows)``), which is what
            :meth:`run` does.
+        """
+        run, _ = self._replay_system(
+            system,
+            trace,
+            schedule=schedule,
+            config=config,
+            label=label,
+            failures=failures,
+            churn=churn,
+            perf=perf,
+            tracer=tracer,
+            start=start,
+            end=end,
+        )
+        return run
+
+    def _replay_system(
+        self,
+        system: str,
+        trace: Trace | FlowStream,
+        *,
+        schedule: ScheduleSpec | None = None,
+        config: LazyCtrlConfig | None = None,
+        label: Optional[str] = None,
+        failures: Optional[FailureInjectionSpec] = None,
+        churn: Optional[ChurnSpec] = None,
+        perf: Optional[PerfRecorder] = None,
+        tracer=NULL_TRACER,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[RunResult, ControlPlane]:
+        """:meth:`replay_system` body, also handing back the control plane.
+
+        The plane is what the sharded executor needs: the raw mergeable
+        forms of the workload and latency series only live on the plane's
+        recorders, not on the finished :class:`RunResult`.
         """
         entry = get_control_plane(system)
         schedule = schedule or ScheduleSpec()
@@ -310,7 +447,24 @@ class ScenarioRunner:
 
         engine: Optional[SimulationEngine] = None
         scheduler: Optional[ChurnScheduler] = None
-        if churn is not None and churn.active and hasattr(plane, "churn_migrate_host"):
+        if churn is not None and churn.active:
+            churn_capable = entry.churn_aware
+            if not churn_capable and hasattr(plane, "churn_migrate_host"):
+                # Legacy hasattr discovery: keep applying churn, but tell the
+                # design author to declare the capability explicitly.
+                warnings.warn(
+                    f"control plane {entry.name!r} implements churn hooks but was "
+                    "registered without churn_aware=True; hasattr discovery of "
+                    "churn hooks is deprecated — register with "
+                    "register_control_plane(..., churn_aware=True) and implement "
+                    "the repro.core.registry.ChurnAware protocol",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                churn_capable = True
+        else:
+            churn_capable = False
+        if churn_capable:
             engine = SimulationEngine()
             scheduler = ChurnScheduler(
                 churn,
@@ -331,7 +485,10 @@ class ScenarioRunner:
             tracer=tracer,
         )
         started = perf_counter()
-        progress = replayer.replay(start=0.0, end=schedule.duration_seconds)
+        progress = replayer.replay(
+            start=start if start is not None else 0.0,
+            end=end if end is not None else schedule.duration_seconds,
+        )
         wall_seconds = perf_counter() - started
         tracer.close()
 
@@ -346,7 +503,7 @@ class ScenarioRunner:
             perf_snapshot = perf.snapshot(
                 wall_seconds=wall_seconds, flows_replayed=progress.flows_replayed
             )
-        return self._collect(
+        run = self._collect(
             entry.label if label is None else label,
             plane,
             schedule,
@@ -355,6 +512,7 @@ class ScenarioRunner:
             perf_snapshot,
             tracer.timeline,
         )
+        return run, plane
 
     # -- result collection -----------------------------------------------------
 

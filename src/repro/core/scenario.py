@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -37,6 +38,7 @@ from repro.churn.spec import ChurnSpec
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict, to_jsonable
+from repro.replay.spec import ExecutionSpec
 from repro.tables.spec import TableSpec
 from repro.topology.builder import TopologyProfile
 from repro.topology.network import DataCenterNetwork
@@ -45,7 +47,7 @@ from repro.traffic.expand import expand_trace
 from repro.traffic.mix import TrafficMixSpec
 from repro.traffic.realistic import RealisticTraceProfile
 from repro.traffic.registry import TrafficModelEntry, get_traffic_model
-from repro.traffic.stream import FlowStream, MaterializedStream
+from repro.traffic.stream import CHUNK_TARGET_FLOWS, FlowStream, MaterializedStream
 from repro.traffic.synthetic import SyntheticTraceSpec
 from repro.traffic.trace import Trace
 
@@ -255,16 +257,28 @@ class TraceSpec:
             )
         return trace
 
-    def build_stream(self, network: DataCenterNetwork, *, name: str = "scenario") -> FlowStream:
+    def build_stream(
+        self,
+        network: DataCenterNetwork,
+        *,
+        name: str = "scenario",
+        chunk_flows: int = 0,
+    ) -> FlowStream:
         """Generate the trace as a lazy chunk stream over ``network``.
 
         The §V-D expansion needs the full set of silent pairs and therefore a
         materialized trace; a spec with ``expand_fraction > 0`` falls back to
         building the trace and presenting it through the stream protocol
-        (correct, but without the O(chunk) memory bound).
+        (correct, but without the O(chunk) memory bound).  ``chunk_flows``
+        sizes the slices of that materialized adaptation (0 = library
+        default); *generated* streams ignore it, because their chunk grid
+        feeds the per-chunk RNG derivation and is never a runtime knob.
         """
         if self.expand_fraction > 0.0:
-            return MaterializedStream.from_trace(self.build(network, name=name))
+            return MaterializedStream.from_trace(
+                self.build(network, name=name),
+                chunk_flows=chunk_flows or CHUNK_TARGET_FLOWS,
+            )
         return self.entry().build_stream(network, self.params, name=name)
 
 
@@ -317,11 +331,16 @@ def _modernize_traffic(data: Any) -> Any:
 class ScenarioSpec:
     """A fully declarative description of one experiment.
 
-    ``stream=True`` selects the bounded-memory replay path: the trace is
-    generated and drained chunk by chunk instead of being materialized,
-    trading one extra generation of the warm-up window (and one full
-    regeneration per additional control plane) for O(chunk) memory — the
-    mode that makes multi-million-flow scenarios fit on ordinary hardware.
+    ``execution`` carries every knob about *how* the replay runs — process
+    fan-out, shard strategy, chunk size, and the bounded-memory streaming
+    flag (:class:`~repro.replay.spec.ExecutionSpec`).  ``stream=True``
+    there selects chunk-by-chunk generation and replay, trading one extra
+    generation of the warm-up window (and one full regeneration per
+    additional control plane) for O(chunk) memory — the mode that makes
+    multi-million-flow scenarios fit on ordinary hardware.  The legacy
+    ``stream=`` constructor keyword still works (it folds into
+    ``execution`` with a :class:`DeprecationWarning`), and ``spec.stream``
+    remains readable as an alias for ``spec.execution.stream``.
     """
 
     name: str
@@ -336,7 +355,7 @@ class ScenarioSpec:
     config: LazyCtrlConfig = field(default_factory=LazyCtrlConfig)
     failures: Optional[FailureInjectionSpec] = None
     churn: Optional[ChurnSpec] = None
-    stream: bool = False
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     # Finite-table overlay: capacity plus a registered timeout/eviction
     # policy, applied on top of ``config.flow_table`` at build time.  ``None``
     # leaves the config's flow-table settings untouched.
@@ -385,7 +404,9 @@ class ScenarioSpec:
 
     def build_stream(self, network: DataCenterNetwork) -> FlowStream:
         """Generate the trace as a lazy chunk stream over ``network``."""
-        return self.traffic.build_stream(network, name=self.name)
+        return self.traffic.build_stream(
+            network, name=self.name, chunk_flows=self.execution.chunk_flows
+        )
 
     # -- serialization -------------------------------------------------------
 
@@ -399,13 +420,19 @@ class ScenarioSpec:
 
         Spec JSON written before the workload registries existed (PR ≤ 3:
         ``topology`` as a bare profile dict, ``traffic`` with a ``kind``
-        discriminator) is transparently upgraded to the registry form.
+        discriminator) is transparently upgraded to the registry form, and
+        a pre-ExecutionSpec top-level ``stream`` flag (PR ≤ 7) folds into
+        ``execution``.
         """
         data = dict(data)
         if "topology" in data:
             data["topology"] = _modernize_topology(data["topology"])
         if "traffic" in data:
             data["traffic"] = _modernize_traffic(data["traffic"])
+        if "stream" in data:
+            legacy_stream = data.pop("stream")
+            if "execution" not in data:
+                data["execution"] = {"stream": bool(legacy_stream)}
         return dataclass_from_dict(cls, data, path="spec")
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -427,3 +454,35 @@ class ScenarioSpec:
     def load(cls, path: str | Path) -> "ScenarioSpec":
         """Load a spec previously written with :meth:`save`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# Back-compat shims for the pre-ExecutionSpec ``stream`` field (PR ≤ 7):
+# a wrapped ``__init__`` keeps ``ScenarioSpec(stream=True)`` working (folding
+# the flag into ``execution`` with a DeprecationWarning), and a read-only
+# class property keeps ``spec.stream`` readable.  A real dataclass field (or
+# InitVar) would not do: ``dataclasses.replace`` re-feeds defaulted
+# init-only fields from ``getattr(obj, name)``, which would resurrect the
+# old stream value over a freshly supplied ``execution``.
+_scenario_dataclass_init = ScenarioSpec.__init__
+
+
+def _scenario_init_with_legacy_stream(self, *args, stream=None, **kwargs):
+    if stream is not None:
+        warnings.warn(
+            "ScenarioSpec(stream=...) is deprecated; pass "
+            "execution=ExecutionSpec(stream=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["execution"] = dataclasses.replace(
+            kwargs.get("execution", ExecutionSpec()), stream=bool(stream)
+        )
+    _scenario_dataclass_init(self, *args, **kwargs)
+
+
+_scenario_init_with_legacy_stream.__wrapped__ = _scenario_dataclass_init
+ScenarioSpec.__init__ = _scenario_init_with_legacy_stream
+ScenarioSpec.stream = property(
+    lambda self: self.execution.stream,
+    doc="Alias for ``execution.stream`` (the bounded-memory replay flag).",
+)

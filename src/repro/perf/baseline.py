@@ -74,6 +74,28 @@ def _close(current: float, baseline: float) -> bool:
     return math.isclose(current, baseline, rel_tol=CLOSE_RELATIVE_EPSILON, abs_tol=1e-21)
 
 
+def _timeline_series_drift(expected: Any, got: Any) -> str | None:
+    """Describe how one timeline count series drifted, or ``None`` if it didn't.
+
+    Pinpoints the drifted bucket indices instead of dumping both full series:
+    a 12-bucket day is readable either way, but a fine-grained timeline has
+    hundreds of buckets and the old whole-list dump buried the actual drift.
+    Every drifted bucket is counted; the message previews the first few.
+    """
+    if got == expected:
+        return None
+    if got is None:
+        return f"series missing from the fresh payload (baseline has {expected!r})"
+    if not isinstance(expected, list) or not isinstance(got, list):
+        return f"expected {expected!r}, got {got!r}"
+    if len(got) != len(expected):
+        return f"bucket count {len(got)} != baseline {len(expected)}"
+    drifted = [index for index, pair in enumerate(zip(expected, got)) if pair[0] != pair[1]]
+    preview = ", ".join(f"[{index}] {expected[index]!r}->{got[index]!r}" for index in drifted[:5])
+    more = "" if len(drifted) <= 5 else f", ... {len(drifted) - 5} more"
+    return f"{len(drifted)}/{len(expected)} buckets drifted: {preview}{more}"
+
+
 def _compare_timeline(
     check: BaselineCheck,
     name: str,
@@ -84,7 +106,8 @@ def _compare_timeline(
 
     The count series are replay arithmetic (each sums to one of the scalar
     counters above), so they get the same bit-for-bit treatment.  Baselines
-    predating the key skip the check.
+    predating the key skip the check.  Every drifted series (and every
+    drifted bucket within it) is reported in the one pass.
     """
     if baseline is None:
         return
@@ -103,11 +126,9 @@ def _compare_timeline(
     baseline_counts = baseline.get("counts", {})
     current_counts = current.get("counts", {})
     for series in sorted(baseline_counts):
-        if current_counts.get(series) != baseline_counts[series]:
-            check.failures.append(
-                f"{name}.timeline.{series}: expected {baseline_counts[series]!r}, "
-                f"got {current_counts.get(series)!r}"
-            )
+        drift = _timeline_series_drift(baseline_counts[series], current_counts.get(series))
+        if drift is not None:
+            check.failures.append(f"{name}.timeline.{series}: {drift}")
 
 
 def compare_payloads(

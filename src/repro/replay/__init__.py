@@ -1,0 +1,35 @@
+"""Sharded scenario execution behind the :class:`ExecutionSpec` API.
+
+This package owns the *execution* half of a scenario — how a replay runs,
+as opposed to what it measures:
+
+* :mod:`repro.replay.spec` — :class:`ExecutionSpec`, the serializable knob
+  bundle (workers, shard strategy/count, chunk size, streaming) that rides
+  on :class:`~repro.core.scenario.ScenarioSpec` as ``spec.execution``;
+* :mod:`repro.replay.sharding` — :func:`plan_shards`, which partitions one
+  scenario's replay into an ordered :class:`ShardPlan` (per control-plane
+  system, or per bucket-aligned time window);
+* :mod:`repro.replay.merge` — the deterministic merge of per-shard
+  :class:`~repro.replay.merge.ShardOutcome` records back into a single
+  :class:`~repro.core.results.RunResult`;
+* :mod:`repro.replay.executor` — the shard executor bodies shared by the
+  in-process path and the ``multiprocessing`` pool workers.
+
+:class:`~repro.core.runner.ScenarioRunner` is the only intended entry
+point; it plans, executes and merges according to ``spec.execution``.
+"""
+
+# Only the cycle-free leaves are re-exported here: ``repro.core.scenario``
+# imports ``repro.replay.spec`` (and therefore this package) at module load,
+# so eagerly importing ``merge``/``executor`` — which depend on core results —
+# would close an import cycle.  Import those submodules directly.
+from repro.replay.sharding import Shard, ShardPlan, plan_shards
+from repro.replay.spec import SHARD_STRATEGIES, ExecutionSpec
+
+__all__ = [
+    "ExecutionSpec",
+    "SHARD_STRATEGIES",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+]

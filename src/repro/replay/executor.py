@@ -1,0 +1,189 @@
+"""Shard execution: the in-process body and the multiprocessing pool driver.
+
+:func:`execute_shard` is the one replay body both paths share — the
+``workers=1`` in-process loop and the pool workers run byte-for-byte the
+same code, which is what makes sharded output independent of the worker
+count.  Cross-process transport goes through plain dicts (``spec.to_dict``
+/ ``run.to_dict``) rather than pickled dataclasses, matching ``run_many``'s
+convention and keeping Python 3.10 workers happy; dict round-trips preserve
+every float exactly, so the transport is invisible in the results.
+
+Imports of the runner happen lazily inside functions: this module is
+imported by :mod:`repro.core.runner` itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from repro.replay.merge import ShardOutcome
+from repro.replay.sharding import Shard, ShardPlan
+
+
+def can_fork_workers() -> bool:
+    """Whether this process may create worker processes.
+
+    Pool workers are daemonic and may not have children, so a scenario
+    whose spec asks for parallel shards degrades to in-process sequential
+    execution when it is itself being run inside a ``run_many`` worker —
+    same results, no nested pool.
+    """
+    return not multiprocessing.current_process().daemon
+
+
+def execute_shard(
+    spec,
+    shard: Shard,
+    *,
+    collect_perf: bool = False,
+    timeline_bucket_seconds: Optional[float] = None,
+) -> ShardOutcome:
+    """Replay one shard against fresh per-shard state and package its outcome.
+
+    Builds the shard's own network and trace/stream (deterministic
+    generation makes them identical across shards and processes), warms the
+    control plane from the scenario's warm-up window, replays exactly
+    ``[shard.start, shard.end)``, and exports the raw mergeable forms of
+    the workload and latency series alongside the finished ``RunResult``.
+    """
+    import math
+
+    from repro.core.registry import get_control_plane
+    from repro.core.runner import ScenarioRunner
+    from repro.obs.timeline import MetricsTimeline
+    from repro.obs.tracer import NULL_TRACER, EventTracer
+    from repro.perf.recorder import PerfRecorder
+
+    entry = get_control_plane(shard.system)
+    config = spec.effective_config()
+    started = perf_counter()
+    network = spec.build_network()
+    if spec.execution.stream:
+        trace = spec.build_stream(network)
+    else:
+        trace = spec.build_trace(network)
+
+    tracer = NULL_TRACER
+    if timeline_bucket_seconds is not None:
+        tracer = EventTracer(
+            system=entry.name, timeline=MetricsTimeline(timeline_bucket_seconds)
+        )
+
+    run, plane = ScenarioRunner()._replay_system(
+        shard.system,
+        trace,
+        schedule=spec.schedule,
+        config=config,
+        failures=spec.failures,
+        churn=spec.churn,
+        perf=PerfRecorder() if collect_perf else None,
+        tracer=tracer,
+        start=shard.start,
+        end=shard.end,
+    )
+    wall_seconds = perf_counter() - started
+
+    schedule = spec.schedule
+    bucket_count = max(1, math.ceil(schedule.duration_hours / schedule.bucket_hours))
+    workload_counts = [
+        count
+        for _, count in plane.workload_series().series(bucket_range=(0, bucket_count))
+    ]
+    return ShardOutcome(
+        shard=shard,
+        run=run,
+        wall_seconds=wall_seconds,
+        workload_counts=workload_counts,
+        latency_totals=plane.latency_recorder.bucket_totals(),
+    )
+
+
+def execute_plan(
+    spec,
+    plan: ShardPlan,
+    *,
+    collect_perf: bool = False,
+    timeline_bucket_seconds: Optional[float] = None,
+    use_pool: bool = False,
+) -> List[ShardOutcome]:
+    """Execute every shard of ``plan``, in-process or over a fork pool.
+
+    Shard outcomes come back in plan order either way; the merge sorts by
+    shard index again regardless, so results never depend on completion
+    order.
+    """
+    if not use_pool:
+        return [
+            execute_shard(
+                spec,
+                shard,
+                collect_perf=collect_perf,
+                timeline_bucket_seconds=timeline_bucket_seconds,
+            )
+            for shard in plan.shards
+        ]
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - Windows/macOS spawn fallback
+        context = multiprocessing.get_context()
+    spec_dict = spec.to_dict()
+    payloads = [
+        {
+            "spec": spec_dict,
+            "shard": {
+                "index": shard.index,
+                "system": shard.system,
+                "start": shard.start,
+                "end": shard.end,
+            },
+            "collect_perf": collect_perf,
+            "timeline_bucket_seconds": timeline_bucket_seconds,
+        }
+        for shard in plan.shards
+    ]
+    with context.Pool(processes=min(plan.workers, len(plan.shards))) as pool:
+        raw = pool.map(_execute_shard_payload, payloads)
+    return [_outcome_from_dict(data) for data in raw]
+
+
+def _execute_shard_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side shard body (module-level for pickling)."""
+    from repro.core.scenario import ScenarioSpec
+
+    outcome = execute_shard(
+        ScenarioSpec.from_dict(payload["spec"]),
+        Shard(**payload["shard"]),
+        collect_perf=payload["collect_perf"],
+        timeline_bucket_seconds=payload["timeline_bucket_seconds"],
+    )
+    return _outcome_to_dict(outcome)
+
+
+def _outcome_to_dict(outcome: ShardOutcome) -> Dict[str, Any]:
+    return {
+        "shard": {
+            "index": outcome.shard.index,
+            "system": outcome.shard.system,
+            "start": outcome.shard.start,
+            "end": outcome.shard.end,
+        },
+        "run": outcome.run.to_dict(),
+        "wall_seconds": outcome.wall_seconds,
+        "workload_counts": outcome.workload_counts,
+        "latency_totals": outcome.latency_totals,
+    }
+
+
+def _outcome_from_dict(data: Dict[str, Any]) -> ShardOutcome:
+    from repro.core.results import RunResult
+
+    return ShardOutcome(
+        shard=Shard(**data["shard"]),
+        run=RunResult.from_dict(data["run"]),
+        wall_seconds=data["wall_seconds"],
+        workload_counts=data["workload_counts"],
+        latency_totals=data["latency_totals"],
+    )

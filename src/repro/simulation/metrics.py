@@ -145,6 +145,17 @@ class LatencyRecorder:
         count = self._counts.get(index, 0)
         return self._sums.get(index, 0.0) / count if count else 0.0
 
+    def bucket_totals(self) -> Dict[int, Tuple[float, int]]:
+        """Per-bucket ``(latency_sum, sample_count)`` pairs.
+
+        The mergeable raw form of the recorder: summing the pairs across
+        independent recorders and dividing once reproduces the exact bucket
+        means a single recorder over the union would report — unlike
+        averaging the per-recorder means, which is neither exact nor
+        associative.  The sharded-replay merge depends on this.
+        """
+        return {index: (self._sums[index], self._counts[index]) for index in self._counts}
+
     def mean_series(self, *, bucket_range: Tuple[int, int] | None = None) -> List[Tuple[int, float]]:
         """Per-bucket mean latencies (empty buckets reported as 0)."""
         if bucket_range is None:

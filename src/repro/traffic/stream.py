@@ -418,9 +418,27 @@ class GeneratedStream(FlowStreamBase):
         return len(self._windows)
 
     def chunks(self) -> Iterator[Sequence[FlowRecord]]:
+        return self.chunks_from(0.0)
+
+    def chunks_from(self, start: float) -> Iterator[Sequence[FlowRecord]]:
+        """Chunks that may contain flows at or after ``start``, ids intact.
+
+        Windows ending strictly before ``start`` are *skipped without
+        generating*: their planned ``flow_count`` is added to the flow-id
+        cursor instead, which is valid because every emitter draws exactly
+        its window's planned counts.  This makes a time-window shard's
+        replay cost proportional to its own window rather than to the whole
+        timeline before it.  The boundary window (``end == start``) is
+        still generated — an emitter may draw an arrival exactly on its
+        window's end edge, and ownership of that instant belongs to the
+        consumer's trimming, not to the generator.
+        """
         flow_id = 0
         for window in self._windows:
             if window.flow_count <= 0:
+                continue
+            if window.end < start:
+                flow_id += window.flow_count
                 continue
             rng = make_rng(self._seed, *self._rng_labels, "chunk", str(window.index))
             draws = self._emit(rng, window)
@@ -469,9 +487,11 @@ class MaterializedStream(FlowStreamBase):
         self._duration = duration
 
     @classmethod
-    def from_trace(cls, trace: "Trace") -> "MaterializedStream":
+    def from_trace(cls, trace: "Trace", *, chunk_flows: int = CHUNK_TARGET_FLOWS) -> "MaterializedStream":
         """Wrap a materialized trace (flows are shared, not copied)."""
-        return cls(trace.name, trace.network, trace.flows, duration=trace.duration)
+        return cls(
+            trace.name, trace.network, trace.flows, duration=trace.duration, chunk_flows=chunk_flows
+        )
 
     @property
     def total_flows(self) -> int:
@@ -590,8 +610,15 @@ def windowed_chunks(
     Chunks entirely before ``start`` are skipped, the stream is abandoned at
     the first chunk starting at or past ``end``, and boundary chunks are
     bisect-trimmed — so consuming a sub-window never generates flows past it.
+    Sources that can seek (:meth:`GeneratedStream.chunks_from`) additionally
+    never generate the chunks *before* the window, which is what makes a
+    time-window shard's cost proportional to its own span.
     """
-    for chunk in source.chunks():
+    if start > 0.0 and hasattr(source, "chunks_from"):
+        source_chunks = source.chunks_from(start)
+    else:
+        source_chunks = source.chunks()
+    for chunk in source_chunks:
         if not chunk:
             continue
         if chunk[-1].start_time < start:

@@ -145,3 +145,140 @@ class TestReplayerEngineCoupling:
         progress = TraceReplayer(trace, sink, periodic_interval=60.0).replay(start=0.0, end=120.0)
         assert progress.flows_replayed == 1
         assert progress.periodic_invocations == 2
+
+
+class TestChurnAwareRegistration:
+    """Churn capability is an explicit registry flag, not hasattr discovery."""
+
+    def test_builtin_planes_declare_churn_aware(self):
+        from repro.core.registry import get_control_plane
+
+        for name in ("openflow", "lazyctrl-static", "lazyctrl-dynamic"):
+            assert get_control_plane(name).churn_aware is True
+
+    def test_builtin_planes_satisfy_the_churn_aware_protocol(self):
+        from repro.core.registry import ChurnAware
+        from repro.core.system import LazyCtrlSystem, OpenFlowSystem
+        from repro.topology.builder import build_multi_tenant_datacenter
+
+        network = build_multi_tenant_datacenter(
+            TopologyProfile(switch_count=4, host_count=40, seed=7)
+        )
+        assert isinstance(OpenFlowSystem(network), ChurnAware)
+        assert isinstance(LazyCtrlSystem(network), ChurnAware)
+
+    def test_legacy_plane_with_hooks_warns_but_still_receives_churn(self):
+        """A plane that implements the hooks without declaring churn_aware
+        keeps working through the deprecation shim — with a warning."""
+        import pytest
+
+        from repro.core.registry import register_control_plane, unregister_control_plane
+        from repro.core.system import OpenFlowSystem
+
+        @register_control_plane("test-legacy-churn", label="Legacy churn")
+        def _build(network, *, config=None, workload_bucket_seconds=7200.0,
+                   latency_bucket_seconds=7200.0):
+            return OpenFlowSystem(
+                network,
+                config=config,
+                workload_bucket_seconds=workload_bucket_seconds,
+                latency_bucket_seconds=latency_bucket_seconds,
+            )
+
+        try:
+            spec = churn_scenario(
+                ChurnSpec(seed=7, migration_rate_per_hour=12.0),
+                systems=("test-legacy-churn",),
+            )
+            with pytest.warns(DeprecationWarning, match="churn_aware=True"):
+                result = ScenarioRunner().run(spec)
+            run = result.result_for("test-legacy-churn")
+            assert run.churn is not None
+            assert run.churn.total_events() > 0
+        finally:
+            unregister_control_plane("test-legacy-churn")
+
+    def test_legacy_shim_reproduces_the_declared_plane_bit_for_bit(self):
+        """The shim only warns — the replay itself must match a properly
+        declared registration exactly."""
+        import pytest
+
+        from repro.core.registry import register_control_plane, unregister_control_plane
+        from repro.core.system import OpenFlowSystem
+
+        def _factory(network, *, config=None, workload_bucket_seconds=7200.0,
+                     latency_bucket_seconds=7200.0):
+            return OpenFlowSystem(
+                network,
+                config=config,
+                workload_bucket_seconds=workload_bucket_seconds,
+                latency_bucket_seconds=latency_bucket_seconds,
+            )
+
+        register_control_plane("test-churn-legacy", label="OpenFlow")(_factory)
+        register_control_plane("test-churn-aware", label="OpenFlow", churn_aware=True)(_factory)
+        try:
+            churn = ChurnSpec(seed=7, migration_rate_per_hour=12.0)
+            with pytest.warns(DeprecationWarning):
+                legacy = ScenarioRunner().run(
+                    churn_scenario(churn, systems=("test-churn-legacy",))
+                )
+            declared = ScenarioRunner().run(
+                churn_scenario(churn, systems=("test-churn-aware",))
+            )
+            left = legacy.result_for("test-churn-legacy").to_dict()
+            right = declared.result_for("test-churn-aware").to_dict()
+            assert left == right
+        finally:
+            unregister_control_plane("test-churn-legacy")
+            unregister_control_plane("test-churn-aware")
+
+    def test_hookless_plane_skips_churn_silently(self, recwarn):
+        from repro.core.registry import register_control_plane, unregister_control_plane
+        from repro.core.results import SystemCounters
+        from repro.simulation.metrics import CounterSeries, LatencyRecorder
+
+        class _HooklessPlane:
+            def __init__(self, network, *, config=None, workload_bucket_seconds=7200.0,
+                         latency_bucket_seconds=7200.0):
+                self.counters = SystemCounters()
+                self.latency_recorder = LatencyRecorder(latency_bucket_seconds)
+                self._workload = CounterSeries(workload_bucket_seconds)
+
+            def prepare(self, trace, *, warmup_end, now=0.0):
+                pass
+
+            def handle_flow_arrival(self, flow, now):
+                self.counters.flows_handled += 1
+                self.counters.controller_requests += 1
+                self._workload.record(now)
+                self.latency_recorder.record(now, 1.0)
+
+            def periodic(self, now):
+                pass
+
+            def workload_series(self):
+                return self._workload
+
+            def total_controller_requests(self):
+                return self.counters.controller_requests
+
+            def updates_per_hour(self, *, hours):
+                return [0.0] * hours
+
+        register_control_plane("test-hookless", label="Hookless")(_HooklessPlane)
+        try:
+            spec = churn_scenario(
+                ChurnSpec(seed=7, migration_rate_per_hour=12.0),
+                systems=("test-hookless",),
+            )
+            result = ScenarioRunner().run(spec)
+            run = result.result_for("test-hookless")
+            assert run.churn is None
+            assert run.counters.flows_handled > 0
+            deprecations = [
+                w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+            ]
+            assert not deprecations
+        finally:
+            unregister_control_plane("test-hookless")

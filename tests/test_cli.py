@@ -181,9 +181,10 @@ class TestRun:
         assert main([*base, "--stream", "--out", str(streamed)]) == 0
         left = json.loads(materialized.read_text())
         right = json.loads(streamed.read_text())
-        # Identical replay outcomes; only the spec's stream flag differs.
+        # Identical replay outcomes; only the spec's execution differs.
         assert left["runs"] == right["runs"]
-        assert left["spec"]["stream"] is False and right["spec"]["stream"] is True
+        assert left["spec"]["execution"]["stream"] is False
+        assert right["spec"]["execution"]["stream"] is True
 
     def test_run_spec_file(self, tmp_path, capsys):
         spec = ScenarioSpec(

@@ -1,0 +1,172 @@
+"""The ExecutionSpec API surface: validation, parsing, and deprecation shims."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.replay.spec import SHARD_STRATEGIES, ExecutionSpec
+from repro.topology.builder import TopologyProfile
+
+
+def tiny_spec(name="exec-test", **overrides):
+    defaults = dict(
+        name=name,
+        topology=TopologyProfile(switch_count=6, host_count=48, seed=11),
+        traffic=TraceSpec.realistic(total_flows=300, seed=11),
+        systems=("openflow",),
+        schedule=ScheduleSpec(duration_hours=2.0, bucket_hours=2.0),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestExecutionSpec:
+    def test_defaults_are_the_serial_path(self):
+        spec = ExecutionSpec()
+        assert spec.workers == 1
+        assert spec.shard_strategy == "system"
+        assert spec.shard_count == 0
+        assert spec.chunk_flows == 0
+        assert spec.stream is False
+        assert spec.parallel is False
+
+    def test_parallel_property(self):
+        assert ExecutionSpec(workers=2).parallel is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -1},
+            {"shard_strategy": "typo"},
+            {"shard_count": -1},
+            {"chunk_flows": -5},
+        ],
+    )
+    def test_validation_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionSpec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = ExecutionSpec(workers=4, shard_strategy="time-window", shard_count=8, stream=True)
+        assert ExecutionSpec.from_dict(spec.to_dict()) == spec
+        # to_dict must be JSON-serializable as-is.
+        assert ExecutionSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+class TestExecutionSpecParse:
+    def test_key_value_pairs_with_dashes(self):
+        spec = ExecutionSpec.parse("workers=4,shard-strategy=time-window,shard-count=8,stream=true")
+        assert spec == ExecutionSpec(
+            workers=4, shard_strategy="time-window", shard_count=8, stream=True
+        )
+
+    def test_underscores_also_accepted(self):
+        assert ExecutionSpec.parse("shard_count=3").shard_count == 3
+
+    def test_json_object(self):
+        spec = ExecutionSpec.parse('{"workers": 2, "stream": true}')
+        assert spec == ExecutionSpec(workers=2, stream=True)
+
+    def test_base_keeps_unmentioned_keys(self):
+        base = ExecutionSpec(workers=4, shard_strategy="time-window", shard_count=8)
+        spec = ExecutionSpec.parse("workers=1", base=base)
+        assert spec == dataclasses.replace(base, workers=1)
+
+    @pytest.mark.parametrize("word,expected", [("yes", True), ("off", False), ("1", True)])
+    def test_bool_words(self, word, expected):
+        assert ExecutionSpec.parse(f"stream={word}").stream is expected
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "workers",
+            "workers=two",
+            "unknown-key=1",
+            "stream=maybe",
+            '{"workers": 4',
+            '["workers"]',
+        ],
+    )
+    def test_parse_errors_are_configuration_errors(self, text):
+        with pytest.raises(ConfigurationError):
+            ExecutionSpec.parse(text)
+
+    def test_unknown_key_error_lists_valid_keys(self):
+        with pytest.raises(ConfigurationError, match="shard-strategy"):
+            ExecutionSpec.parse("sharding=time-window")
+
+    def test_parsed_spec_is_still_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionSpec.parse("workers=0")
+
+
+class TestScenarioSpecExecution:
+    def test_spec_carries_default_execution(self):
+        assert tiny_spec().execution == ExecutionSpec()
+
+    def test_stream_property_reads_execution(self):
+        spec = tiny_spec(execution=ExecutionSpec(stream=True))
+        assert spec.stream is True
+
+    def test_replace_with_new_execution_is_preserved(self):
+        """Regression: ``dataclasses.replace`` must not resurrect the old
+        stream flag over a freshly supplied execution spec."""
+        spec = tiny_spec()
+        replaced = dataclasses.replace(spec, execution=ExecutionSpec(workers=2, stream=True))
+        assert replaced.execution == ExecutionSpec(workers=2, stream=True)
+
+    def test_legacy_stream_kwarg_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="ScenarioSpec"):
+            spec = tiny_spec(stream=True)
+        assert spec.execution == ExecutionSpec(stream=True)
+        assert spec.stream is True
+
+    def test_legacy_stream_kwarg_overrides_supplied_execution(self):
+        with pytest.warns(DeprecationWarning):
+            spec = tiny_spec(stream=True, execution=ExecutionSpec(workers=3))
+        assert spec.execution == ExecutionSpec(workers=3, stream=True)
+
+    def test_property_read_is_silent(self, recwarn):
+        spec = tiny_spec()
+        assert spec.stream is False
+        assert not [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)]
+
+    def test_serialized_spec_has_execution_not_stream(self):
+        data = tiny_spec(execution=ExecutionSpec(stream=True)).to_dict()
+        assert "stream" not in data
+        assert data["execution"]["stream"] is True
+
+    def test_legacy_json_with_stream_key_loads(self):
+        data = tiny_spec().to_dict()
+        del data["execution"]
+        data["stream"] = True
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.execution == ExecutionSpec(stream=True)
+
+
+class TestRunManyDeprecation:
+    def test_workers_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_many"):
+            results = ScenarioRunner().run_many([tiny_spec()], workers=1)
+        assert len(results) == 1
+
+    def test_workers_kwarg_still_validates(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                ScenarioRunner().run_many([], workers=-1)
+
+    def test_execution_kwarg_is_silent(self, recwarn):
+        results = ScenarioRunner().run_many([tiny_spec()], execution=ExecutionSpec(workers=1))
+        assert len(results) == 1
+        assert not [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)]
+
+
+class TestStrategies:
+    def test_registered_strategies(self):
+        assert SHARD_STRATEGIES == ("system", "time-window")

@@ -10,6 +10,7 @@ from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
 from repro.perf.baseline import check_against_baselines, compare_payloads
 from repro.perf.recorder import NULL_RECORDER, NullRecorder, PerfRecorder, peak_rss_bytes
 from repro.perf.report import PerfSnapshot, StageStats, format_stage_breakdown
+from repro.replay.spec import ExecutionSpec
 from repro.topology.builder import TopologyProfile
 
 
@@ -195,7 +196,7 @@ class TestInstrumentedRuns:
         spec = dataclasses.replace(
             small_spec(systems=("lazyctrl-dynamic",)),
             traffic=TraceSpec.realistic(total_flows=2000, seed=7),
-            stream=True,
+            execution=ExecutionSpec(stream=True),
         )
         result = ScenarioRunner().run(spec, collect_perf=True)
         perf = result.runs["lazyctrl-dynamic"].perf
@@ -330,3 +331,77 @@ class TestBaselineComparison:
         assert problems == []
         assert len(checks) == 1 and checks[0].ok
         assert len(stale) == 1 and "BENCH_removed-scenario.json" in stale[0]
+
+
+class TestOnePassDriftReporting:
+    """``bench --check`` reports every drifted metric in one pass, not just
+    the first mismatch."""
+
+    @staticmethod
+    def timeline_payload(**series_overrides):
+        data = payload()
+        counts = {
+            "flows_handled": [100] * 8,
+            "controller_requests": [50] * 8,
+        }
+        counts.update(series_overrides)
+        data["systems"]["openflow"]["timeline"] = {
+            "bucket_seconds": 7200.0,
+            "counts": counts,
+        }
+        return data
+
+    def test_all_drifted_metrics_surface_together(self):
+        current = payload(requests=51, fps=400.0)
+        current["systems"]["openflow"]["flows_handled"] = 399
+        current["systems"]["openflow"]["mean_latency_ms"] = 9.99
+        check = compare_payloads(current, payload())
+        assert not check.ok
+        joined = "\n".join(check.failures)
+        assert "total_controller_requests" in joined
+        assert "flows_handled" in joined
+        assert "mean_latency_ms" in joined
+        assert "flows_per_second" in joined
+        assert len(check.failures) >= 4
+
+    def test_timeline_drift_pinpoints_bucket_indices(self):
+        drifted = [100] * 8
+        drifted[2] = 93
+        drifted[5] = 101
+        check = compare_payloads(
+            self.timeline_payload(flows_handled=drifted), self.timeline_payload()
+        )
+        assert not check.ok
+        (failure,) = [f for f in check.failures if "timeline.flows_handled" in f]
+        assert "2/8 buckets drifted" in failure
+        assert "[2] 100->93" in failure
+        assert "[5] 100->101" in failure
+
+    def test_timeline_drift_preview_caps_long_lists(self):
+        check = compare_payloads(
+            self.timeline_payload(flows_handled=[99] * 8), self.timeline_payload()
+        )
+        (failure,) = [f for f in check.failures if "timeline.flows_handled" in f]
+        assert "8/8 buckets drifted" in failure
+        assert "... 3 more" in failure
+
+    def test_timeline_bucket_count_mismatch_is_described(self):
+        check = compare_payloads(
+            self.timeline_payload(flows_handled=[100] * 6), self.timeline_payload()
+        )
+        (failure,) = [f for f in check.failures if "timeline.flows_handled" in f]
+        assert "bucket count 6 != baseline 8" in failure
+
+    def test_multiple_timeline_series_drift_in_one_pass(self):
+        current = self.timeline_payload(
+            flows_handled=[99] + [100] * 7, controller_requests=[50] * 7 + [49]
+        )
+        check = compare_payloads(current, self.timeline_payload())
+        assert len([f for f in check.failures if ".timeline." in f]) == 2
+
+    def test_missing_timeline_series_is_reported(self):
+        current = self.timeline_payload()
+        del current["systems"]["openflow"]["timeline"]["counts"]["controller_requests"]
+        check = compare_payloads(current, self.timeline_payload())
+        (failure,) = [f for f in check.failures if "controller_requests" in f]
+        assert "missing" in failure

@@ -23,6 +23,7 @@ from repro.core.scenario import (
     TopologySpec,
     TraceSpec,
 )
+from repro.replay.spec import ExecutionSpec
 from repro.simulation.metrics import CounterSeries, LatencyRecorder
 from repro.topology.builder import TopologyProfile
 from repro.traffic.synthetic import SyntheticTraceSpec
@@ -48,15 +49,25 @@ class TestScenarioSpec:
         assert ScenarioSpec.from_dict(spec.to_dict()) == spec
 
     def test_stream_flag_round_trips(self):
-        spec = dataclasses.replace(tiny_spec(), stream=True)
+        spec = dataclasses.replace(tiny_spec(), execution=ExecutionSpec(stream=True))
         rebuilt = ScenarioSpec.from_dict(spec.to_dict())
         assert rebuilt.stream is True
         assert rebuilt == spec
 
-    def test_spec_json_without_stream_key_defaults_to_materialized(self):
+    def test_spec_json_without_execution_key_defaults_to_materialized(self):
         data = tiny_spec().to_dict()
-        del data["stream"]
-        assert ScenarioSpec.from_dict(data).stream is False
+        del data["execution"]
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt.stream is False
+        assert rebuilt.execution == ExecutionSpec()
+
+    def test_legacy_spec_json_with_top_level_stream_key_still_loads(self):
+        data = tiny_spec().to_dict()
+        del data["execution"]
+        data["stream"] = True
+        rebuilt = ScenarioSpec.from_dict(data)
+        assert rebuilt.stream is True
+        assert rebuilt.execution == ExecutionSpec(stream=True)
 
     def test_json_round_trip_through_serialized_text(self):
         spec = tiny_spec(
@@ -227,7 +238,7 @@ class TestRunner:
 
     def test_run_many_with_two_workers(self):
         specs = [tiny_spec("wa", systems=("openflow",)), tiny_spec("wb", systems=("openflow",))]
-        parallel = ScenarioRunner().run_many(specs, workers=2)
+        parallel = ScenarioRunner().run_many(specs, execution=ExecutionSpec(workers=2))
         serial = ScenarioRunner().run_many(specs)
         assert parallel == serial
 
@@ -237,12 +248,12 @@ class TestRunner:
     def test_run_many_empty_with_parallel_workers(self):
         """Regression: an empty spec list with workers >= 2 must return []
         instead of reaching ``Pool(processes=0)`` (which raises ValueError)."""
-        assert ScenarioRunner().run_many([], workers=4) == []
-        assert ScenarioRunner().run_many(iter(()), workers=2) == []
+        assert ScenarioRunner().run_many([], execution=ExecutionSpec(workers=4)) == []
+        assert ScenarioRunner().run_many(iter(()), execution=ExecutionSpec(workers=2)) == []
 
     def test_run_many_rejects_negative_workers(self):
         with pytest.raises(ConfigurationError):
-            ScenarioRunner().run_many([tiny_spec()], workers=-1)
+            ScenarioRunner().run_many([tiny_spec()], execution=ExecutionSpec(workers=-1))
 
     def test_custom_control_plane_end_to_end(self):
         register_control_plane("test-counting", label="Counting")(_CountingPlane)

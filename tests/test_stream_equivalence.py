@@ -17,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.topology.builder import TopologyProfile, build_multi_tenant_datacenter
 from repro.traffic.mix import TrafficComponentSpec, TrafficMixSpec
 from repro.traffic.registry import available_traffic_models, get_traffic_model
+from repro.replay.spec import ExecutionSpec
 from repro.traffic.replay import TraceReplayer
 from repro.traffic.trace import Trace
 
@@ -176,7 +177,7 @@ class TestScenarioStreamEquivalence:
         spec = dataclasses.replace(spec, traffic=spec.traffic.with_params(total_flows=2500))
         runner = ScenarioRunner()
         materialized = runner.run(spec)
-        streamed = runner.run(dataclasses.replace(spec, stream=True))
+        streamed = runner.run(dataclasses.replace(spec, execution=ExecutionSpec(stream=True)))
         for name in materialized.runs:
             left, right = materialized.runs[name], streamed.runs[name]
             assert left.counters == right.counters

@@ -157,6 +157,11 @@ class TestTablePressureRuns:
     def test_streamed_replay_reports_identical_table_usage(self, result):
         import dataclasses
 
-        streamed = ScenarioRunner().run(dataclasses.replace(result.spec, stream=True))
+        streamed = ScenarioRunner().run(
+            dataclasses.replace(
+                result.spec,
+                execution=dataclasses.replace(result.spec.execution, stream=True),
+            )
+        )
         for name, run in result.runs.items():
             assert streamed.runs[name].tables == run.tables
