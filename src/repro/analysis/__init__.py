@@ -6,6 +6,7 @@ from repro.analysis.centrality import (
     partition_intensity,
     trace_centrality,
 )
+from repro.analysis.heatmap import hot_links_report, latency_percentile_rows, render_heatmap
 from repro.analysis.reports import format_percent, format_series, format_table, two_hour_bucket_labels
 
 __all__ = [
@@ -14,7 +15,10 @@ __all__ = [
     "format_percent",
     "format_series",
     "format_table",
+    "hot_links_report",
+    "latency_percentile_rows",
     "partition_intensity",
+    "render_heatmap",
     "trace_centrality",
     "two_hour_bucket_labels",
 ]

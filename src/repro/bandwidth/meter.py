@@ -1,0 +1,163 @@
+"""Per-uplink byte accounting during replay.
+
+The meter models the underlay the way the paper's latency model does: the
+core is an opaque one-hop fabric, so every inter-switch flow traverses
+exactly two capacitated links — the source edge switch's uplink into the
+core and the destination edge switch's uplink out of it.  Each observed
+flow spreads its bytes over fixed accounting windows according to its
+(possibly derived) rate profile, and the offered load of the current
+window, as a fraction of capacity, is what the latency model's queueing
+term feeds on.
+
+A meter only exists when at least one switch has a capacity assigned;
+:func:`build_link_meter` returns ``None`` otherwise, and the dataplanes
+skip every congestion branch — which is what keeps capacity-less runs
+bit-identical to a build without this subsystem.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Tuple
+
+from repro.bandwidth.usage import LinkUsageResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.network import DataCenterNetwork
+    from repro.traffic.flow import FlowRecord
+
+#: Bytes per second carried by one Mbit/s.
+_BYTES_PER_MBPS = 125_000.0
+
+
+class LinkObservation(NamedTuple):
+    """What one flow arrival saw on its two uplinks."""
+
+    src_utilization: float
+    dst_utilization: float
+    #: ``(switch_id, utilization)`` pairs that crossed 1.0 with this flow.
+    newly_congested: Tuple[Tuple[int, float], ...]
+
+    @property
+    def congested(self) -> bool:
+        """Whether either traversed uplink is offered at least its capacity."""
+        return self.src_utilization >= 1.0 or self.dst_utilization >= 1.0
+
+
+class LinkUtilizationMeter:
+    """Accumulates offered bytes per uplink per accounting window."""
+
+    __slots__ = ("window_seconds", "_capacities_mbps", "_window_capacity_bytes", "_bytes", "_crossed")
+
+    def __init__(self, capacities_mbps: Dict[int, float], *, window_seconds: float = 300.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = float(window_seconds)
+        self._capacities_mbps = dict(capacities_mbps)
+        self._window_capacity_bytes = {
+            switch_id: mbps * _BYTES_PER_MBPS * self.window_seconds
+            for switch_id, mbps in self._capacities_mbps.items()
+        }
+        self._bytes: Dict[int, Dict[int, float]] = {
+            switch_id: {} for switch_id in self._capacities_mbps
+        }
+        self._crossed: set = set()
+
+    def observe(
+        self,
+        flow: "FlowRecord",
+        src_switch_id: int,
+        dst_switch_id: int,
+        now: float,
+    ) -> LinkObservation:
+        """Account one inter-switch flow and report current-window utilization.
+
+        The returned utilizations include the observed flow's own
+        current-window bytes, so back-to-back arrivals inside one window see
+        monotonically growing load — the behaviour an M/M/1 queue's offered
+        load should have.  An untracked switch reads as 0.0 utilization.
+        """
+        profile = flow.resolved_rate_profile()
+        current_window = int(now / self.window_seconds)
+        utilizations = []
+        newly_congested = []
+        for switch_id in (src_switch_id, dst_switch_id):
+            windows = self._bytes.get(switch_id)
+            if windows is None:
+                utilizations.append(0.0)
+                continue
+            self._spread(windows, flow.start_time, profile)
+            utilization = (
+                windows.get(current_window, 0.0) / self._window_capacity_bytes[switch_id]
+            )
+            utilizations.append(utilization)
+            if utilization >= 1.0 and (switch_id, current_window) not in self._crossed:
+                self._crossed.add((switch_id, current_window))
+                newly_congested.append((switch_id, utilization))
+        return LinkObservation(utilizations[0], utilizations[1], tuple(newly_congested))
+
+    def _spread(self, windows: Dict[int, float], start: float, profile) -> None:
+        """Distribute one profile's bytes across the windows it overlaps."""
+        window_seconds = self.window_seconds
+        cursor = start
+        for segment_duration, rate_bps in profile.segments:
+            segment_end = cursor + segment_duration
+            bytes_per_second = rate_bps / 8.0
+            while cursor < segment_end:
+                index = int(cursor / window_seconds)
+                boundary = (index + 1) * window_seconds
+                step_end = segment_end if segment_end < boundary else boundary
+                windows[index] = windows.get(index, 0.0) + bytes_per_second * (step_end - cursor)
+                cursor = step_end
+
+    def utilization(self, switch_id: int, now: float) -> float:
+        """Current-window offered load of one uplink (0.0 when untracked)."""
+        windows = self._bytes.get(switch_id)
+        if windows is None:
+            return 0.0
+        return windows.get(int(now / self.window_seconds), 0.0) / self._window_capacity_bytes[switch_id]
+
+    def max_utilization(self, now: float) -> float:
+        """The hottest current-window offered load across all tracked uplinks."""
+        index = int(now / self.window_seconds)
+        peak = 0.0
+        for switch_id, windows in self._bytes.items():
+            value = windows.get(index, 0.0) / self._window_capacity_bytes[switch_id]
+            if value > peak:
+                peak = value
+        return peak
+
+    def usage(self, duration_seconds: float) -> LinkUsageResult:
+        """The full utilization matrix over ``duration_seconds`` of replay.
+
+        Bytes spilling past the end of the replay (long flows started near
+        the end) are folded into the final window, mirroring how the
+        metrics timeline folds overflow observations into its last bucket.
+        """
+        window_count = max(1, math.ceil(duration_seconds / self.window_seconds))
+        matrix = {}
+        for switch_id in sorted(self._bytes):
+            windows = self._bytes[switch_id]
+            capacity = self._window_capacity_bytes[switch_id]
+            series = [0.0] * window_count
+            for index, value in windows.items():
+                series[min(index, window_count - 1)] += value
+            matrix[str(switch_id)] = [value / capacity for value in series]
+        return LinkUsageResult(
+            window_seconds=self.window_seconds,
+            capacities_mbps={
+                str(switch_id): self._capacities_mbps[switch_id]
+                for switch_id in sorted(self._capacities_mbps)
+            },
+            utilization=matrix,
+        )
+
+
+def build_link_meter(network: "DataCenterNetwork") -> Optional[LinkUtilizationMeter]:
+    """A meter over the network's capacitated uplinks, or ``None`` if there are none."""
+    capacities = network.link_capacities_mbps()
+    if not capacities:
+        return None
+    return LinkUtilizationMeter(
+        capacities, window_seconds=network.link_utilization_window_seconds
+    )

@@ -1,0 +1,75 @@
+"""Piecewise-constant send-rate profiles.
+
+A profile describes how a flow's bytes are spread over its lifetime as an
+ordered sequence of ``(duration_seconds, rate_bps)`` segments.  Most flows
+never carry one — the meter derives a single constant segment from
+``byte_count`` / ``duration`` on demand — but bursty sources (an incast
+stampede ramping up, an elephant with an on/off pattern) can attach an
+explicit profile and the utilization accounting follows it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class RateProfile:
+    """An ordered sequence of ``(duration_seconds, rate_bps)`` segments."""
+
+    segments: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a rate profile needs at least one segment")
+        normalized = []
+        for index, segment in enumerate(self.segments):
+            duration, rate_bps = segment
+            if duration <= 0:
+                raise ValueError(f"segment {index}: duration must be positive")
+            if rate_bps < 0:
+                raise ValueError(f"segment {index}: rate_bps must be non-negative")
+            normalized.append((float(duration), float(rate_bps)))
+        object.__setattr__(self, "segments", tuple(normalized))
+
+    @classmethod
+    def constant(cls, rate_bps: float, duration: float) -> "RateProfile":
+        """A single-segment profile sending at ``rate_bps`` for ``duration``."""
+        return cls(segments=((duration, rate_bps),))
+
+    @property
+    def duration(self) -> float:
+        """Total transmission time covered by the segments."""
+        return sum(duration for duration, _ in self.segments)
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes sent over the whole profile."""
+        return sum(duration * rate_bps for duration, rate_bps in self.segments) / 8.0
+
+    @property
+    def peak_rate_bps(self) -> float:
+        """The highest segment rate."""
+        return max(rate_bps for _, rate_bps in self.segments)
+
+    @property
+    def mean_rate_bps(self) -> float:
+        """Bytes-weighted average rate over the profile's duration."""
+        return self.total_bytes * 8.0 / self.duration
+
+    def bytes_between(self, start: float, end: float) -> float:
+        """Bytes sent in ``[start, end)``, both relative to the flow start."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        cursor = 0.0
+        for duration, rate_bps in self.segments:
+            segment_end = cursor + duration
+            overlap = min(end, segment_end) - max(start, cursor)
+            if overlap > 0:
+                total += rate_bps / 8.0 * overlap
+            cursor = segment_end
+            if cursor >= end:
+                break
+        return total

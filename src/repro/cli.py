@@ -15,6 +15,7 @@ Seven subcommands cover the everyday workflow::
     python -m repro profile paper-fig7 --flows 2000      # per-stage perf breakdown
     python -m repro run paper-fig7 --events-out ev.jsonl # structured event trace
     python -m repro timeline table-pressure              # per-bucket sparklines
+    python -m repro heatmap incast-congestion            # link-utilization heatmap
     python -m repro trace-export ev.jsonl --out trace.json  # Perfetto-loadable
 
 ``run`` accepts either a preset name (see ``list-scenarios``) or a path to a
@@ -60,7 +61,13 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.heatmap import (
+    hot_links_report,
+    latency_percentile_rows,
+    render_heatmap,
+)
 from repro.analysis.reports import format_percent, format_table
+from repro.bandwidth.spec import LinkCapacitySpec
 from repro.churn.spec import ChurnSpec
 from repro.common.errors import ReproError
 from repro.core.presets import get_preset, list_presets
@@ -85,7 +92,7 @@ BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
 #: Scale-smoke presets benchmarked by their own (non-gating) CI job rather
 #: than the default list: they take minutes, so a full default run must not
 #: flag their committed baselines as stale.
-SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "paper-fig7-100m", "table-pressure")
+SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "paper-fig7-100m", "table-pressure", "incast-congestion")
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -217,6 +224,16 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
     if getattr(args, "churn_seed", None) is not None:
         churn = dataclasses.replace(churn or ChurnSpec(), seed=args.churn_seed)
 
+    links = spec.links
+    if getattr(args, "uplink_mbps", None) is not None:
+        links = dataclasses.replace(
+            links or LinkCapacitySpec(), uplink_mbps=args.uplink_mbps
+        )
+    if getattr(args, "queueing_ms", None) is not None:
+        links = dataclasses.replace(
+            links or LinkCapacitySpec(), queueing_service_ms=args.queueing_ms
+        )
+
     return dataclasses.replace(
         spec,
         topology=topology,
@@ -227,6 +244,7 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         churn=churn,
         execution=execution,
         tables=tables,
+        links=links,
     )
 
 
@@ -302,7 +320,17 @@ def _load_results(target: str) -> List[ScenarioResult]:
                 )
         return [ScenarioResult.from_dict(payload) for payload in payloads]
     specs = get_preset(target).specs()
-    return ScenarioRunner().run_many(specs)
+    # Timeline observation gives compare its latency histograms (p50/p95/p99);
+    # results loaded from a file show "-" when the run was not traced.
+    runner = ScenarioRunner()
+    obs = TraceOptions(timeline=True)
+    return [runner.run(spec, obs=obs) for spec in specs]
+
+
+def _run_percentile_cell(run, fraction: float) -> str:
+    """One formatted percentile cell ("-" when the run carries no histogram)."""
+    value = run.timeline.latency_percentile(fraction) if run.timeline is not None else None
+    return "-" if value is None else f"{value:.3f}"
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -325,13 +353,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 format_percent(result.reduction(baseline, name)),
                 f"{baseline_run.latency.overall_mean_ms:.3f}",
                 f"{run.latency.overall_mean_ms:.3f}",
+                _run_percentile_cell(run, 0.50),
+                _run_percentile_cell(run, 0.95),
+                _run_percentile_cell(run, 0.99),
             ])
         if not rows:
             print(f"Scenario '{result.spec.name}': nothing to compare against {baseline_run.label!r}")
             continue
         print(format_table(
             ["Control plane", f"Workload reduction vs {baseline_run.label}",
-             "Baseline latency (ms)", "Latency (ms)"],
+             "Baseline latency (ms)", "Latency (ms)",
+             "p50 (ms)", "p95 (ms)", "p99 (ms)"],
             rows,
             title=f"Scenario '{result.spec.name}'",
         ))
@@ -378,8 +410,8 @@ def _bench_payload(
         if run.timeline is not None:
             # Count series only: they are exact (each sums to a scalar
             # counter above) so --check can gate on them bucket for bucket;
-            # gauges and percentiles stay out (timing-flavoured, not exact),
-            # and so does chunks_drained — it counts replay mechanics, which
+            # gauges stay out (timing-flavoured, not exact), and so does
+            # chunks_drained — it counts replay mechanics, which
             # legitimately differ between the streamed and materialized paths
             # replaying the same scenario.
             record["timeline"] = {
@@ -390,6 +422,25 @@ def _bench_payload(
                     if series != "chunks_drained"
                 },
             }
+            # Whole-run latency percentiles from the exact log-histogram.
+            # Deterministic per scenario, but bin-quantized — gated as
+            # CLOSE, not EXACT, so a one-bin drift tells rather than trips.
+            for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                value = run.timeline.latency_percentile(fraction)
+                if value is not None:
+                    record[f"latency_{label}_ms"] = value
+        if run.links is not None:
+            record.update(
+                {
+                    "congested_flows": run.counters.congested_flows,
+                    "link_congested_cells": run.links.congested_cells,
+                    "link_peak_utilization": run.links.peak_utilization,
+                }
+            )
+            if run.timeline is not None:
+                record["link_utilization_max"] = run.links.bucket_maxima(
+                    run.timeline.bucket_seconds, run.timeline.bucket_count
+                )
         systems[name] = record
     switches, hosts = result.spec.topology.dimensions()
     payload = {
@@ -557,6 +608,33 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    specs = [_apply_overrides(spec, args) for spec in _load_specs(args.scenario)]
+    runner = ScenarioRunner()
+    obs = TraceOptions(timeline=True)
+    first = True
+    for spec in specs:
+        if spec.links is None and not spec.build_network().has_link_capacities():
+            raise ReproError(
+                f"scenario {spec.name!r} assigns no link capacities — add a "
+                "'links' overlay to the spec or pass --uplink-mbps"
+            )
+        result = runner.run(spec, obs=obs)
+        for run in result.runs.values():
+            if not first:
+                print()
+            first = False
+            print(render_heatmap(run.links, label=f"{result.spec.name} · {run.label}"))
+            print(hot_links_report(run.links, threshold=args.threshold))
+        print()
+        print(format_table(
+            ["Control plane", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+            latency_percentile_rows(list(result.runs.values())),
+            title=f"Scenario '{result.spec.name}' first-packet latency percentiles",
+        ))
+    return 0
+
+
 def _cmd_trace_export(args: argparse.Namespace) -> int:
     events, entries = write_chrome_trace(args.events, args.out, profile_path=args.profile)
     # Re-validate what was just written so a broken export fails here, not
@@ -660,6 +738,20 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="timeout/eviction policy for the flow tables (see list-table-policies)",
     )
+    parser.add_argument(
+        "--uplink-mbps",
+        type=float,
+        default=None,
+        help="assign every edge-switch uplink this capacity in Mbps "
+        "(enables link-utilization accounting and the queueing latency term)",
+    )
+    parser.add_argument(
+        "--queueing-ms",
+        type=float,
+        default=None,
+        help="M/M/1 service time in ms for the utilization-dependent queueing "
+        "delay on capacitated uplinks (0 disables the term)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -756,6 +848,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf snapshots JSON from 'profile --out' to add per-stage spans",
     )
     trace_export.set_defaults(handler=_cmd_trace_export)
+
+    heatmap = subparsers.add_parser(
+        "heatmap",
+        help="replay a capacitated scenario and render link-utilization heatmaps + p99s",
+    )
+    heatmap.add_argument("scenario", help="preset name or path to a ScenarioSpec JSON file")
+    _add_override_arguments(heatmap)
+    heatmap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.0,
+        help="utilization threshold for the hot-links table (fraction of capacity)",
+    )
+    heatmap.set_defaults(handler=_cmd_heatmap)
 
     compare = subparsers.add_parser("compare", help="compare runs from a results file or preset")
     compare.add_argument("target", help="results JSON (from 'run --out') or preset name")

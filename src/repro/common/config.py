@@ -117,6 +117,14 @@ class LatencyModelConfig:
     controller_per_krps_penalty_ms: float = 1.4
     arp_flood_ms: float = 4.0
     group_broadcast_ms: float = 0.3
+    # M/M/1-style congestion term (see LatencyModel.queueing_delay): each
+    # capacitated uplink a flow traverses adds
+    # ``queueing_service_ms * rho / (1 - rho)`` where rho is the link's
+    # offered load capped at ``queueing_utilization_cap``.  The default
+    # service time of zero disables the term entirely, which keeps every
+    # capacity-less configuration bit-identical to builds without it.
+    queueing_service_ms: float = 0.0
+    queueing_utilization_cap: float = 0.95
 
     def __post_init__(self) -> None:
         for name in (
@@ -129,9 +137,15 @@ class LatencyModelConfig:
             "controller_per_krps_penalty_ms",
             "arp_flood_ms",
             "group_broadcast_ms",
+            "queueing_service_ms",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
+        if not 0.0 < self.queueing_utilization_cap < 1.0:
+            raise ConfigurationError(
+                "queueing_utilization_cap must lie strictly inside (0, 1): the "
+                "M/M/1 form diverges at full utilization"
+            )
 
 
 @dataclass(frozen=True, slots=True)

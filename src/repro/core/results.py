@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.bandwidth.usage import LinkUsageResult
 from repro.churn.results import ChurnRunResult
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
 from repro.obs.timeline import TimelineResult
@@ -52,6 +53,9 @@ class SystemCounters:
     # Replayed flows whose endpoints no longer exist because their tenant
     # departed mid-run (workload churn); they are skipped, not handled.
     departed_flows: int = 0
+    # Flows that arrived while either traversed uplink was offered at least
+    # its capacity (bandwidth subsystem); always 0 without capacities.
+    congested_flows: int = 0
 
     def controller_fraction(self) -> float:
         """Fraction of flows whose setup required the controller."""
@@ -156,6 +160,9 @@ class RunResult:
     # Per-bucket event timeline; present only when the run was traced
     # (``--events-out`` / ``repro timeline`` / bench), None otherwise.
     timeline: Optional[TimelineResult] = None
+    # Per-uplink utilization matrix; present only when the scenario assigned
+    # link capacities (``ScenarioSpec.links`` or a topology ``uplink_mbps``).
+    links: Optional[LinkUsageResult] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready representation of this run."""

@@ -576,6 +576,11 @@ class ScenarioRunner:
             perf=perf_snapshot,
             tables=plane.table_usage() if hasattr(plane, "table_usage") else None,
             timeline=timeline_result,
+            links=(
+                plane.link_usage(schedule.duration_seconds)
+                if hasattr(plane, "link_usage")
+                else None
+            ),
         )
 
 

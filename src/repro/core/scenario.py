@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.churn.spec import ChurnSpec
+from repro.bandwidth.spec import LinkCapacitySpec
 from repro.common.config import LazyCtrlConfig
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import dataclass_from_dict, dataclass_to_dict, to_jsonable
@@ -360,6 +361,11 @@ class ScenarioSpec:
     # policy, applied on top of ``config.flow_table`` at build time.  ``None``
     # leaves the config's flow-table settings untouched.
     tables: Optional[TableSpec] = None
+    # Link-capacity overlay: uniform uplink capacities plus the queueing
+    # knobs, applied to the built network and ``config.latency`` at build
+    # time.  ``None`` keeps links uncapacitated and the bandwidth subsystem
+    # inert (the bit-identical default).
+    links: Optional[LinkCapacitySpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
@@ -387,16 +393,27 @@ class ScenarioSpec:
         return self.churn is not None and self.churn.active
 
     def effective_config(self) -> LazyCtrlConfig:
-        """The system config with the ``tables`` overlay (if any) folded in."""
-        if self.tables is None:
-            return self.config
-        return self.tables.apply(self.config)
+        """The system config with the ``tables``/``links`` overlays folded in."""
+        config = self.config
+        if self.tables is not None:
+            config = self.tables.apply(config)
+        if self.links is not None:
+            config = self.links.apply(config)
+        return config
 
     # -- materialization -----------------------------------------------------
 
     def build_network(self) -> DataCenterNetwork:
-        """Build the data-center topology this spec describes."""
-        return self.topology.build()
+        """Build the data-center topology this spec describes.
+
+        The ``links`` overlay (if any) is applied here, so every path that
+        rebuilds the network from the spec — serial replay, streaming,
+        shard workers, churn engines — sees the same capacities.
+        """
+        network = self.topology.build()
+        if self.links is not None:
+            self.links.apply_network(network)
+        return network
 
     def build_trace(self, network: DataCenterNetwork) -> Trace:
         """Generate the trace this spec describes over ``network``."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.bandwidth.meter import build_link_meter
 from repro.common.config import LazyCtrlConfig
 from repro.common.packets import make_data_packet
 from repro.controlplane.lazyctrl_controller import LazyCtrlController
@@ -26,7 +27,12 @@ from repro.core.results import (
     SystemCounters,
     TableUsageResult,
 )
-from repro.obs.events import EvictionEvent, OverflowEvent, ReinstallEvent
+from repro.obs.events import (
+    EvictionEvent,
+    LinkCongestedEvent,
+    OverflowEvent,
+    ReinstallEvent,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.partitioning.sgi import Grouping
 from repro.perf.recorder import NULL_RECORDER
@@ -85,6 +91,35 @@ def _attach_table_tracer(tracer, switch) -> None:
     switch.flow_table.pressure_listener = on_pressure
 
 
+def _congestion_penalty_ms(system, flow: FlowRecord, src_switch_id: int, dst_switch_id: int, now: float) -> float:
+    """Queueing delay the traversed uplinks add to one flow's packets.
+
+    Charges the flow's bytes to both capacitated uplinks of the one-hop
+    underlay (source and destination edge), reads back their current
+    accounting-window utilization, and prices each through the latency
+    model's M/M/1 term.  Returns 0.0 — and touches nothing — when the
+    topology carries no capacities (``_link_meter is None``) or the flow
+    never leaves its edge switch, which is what keeps capacity-less runs
+    bit-identical to pre-subsystem behaviour.
+    """
+    meter = system._link_meter
+    if meter is None or src_switch_id == dst_switch_id:
+        return 0.0
+    observation = meter.observe(flow, src_switch_id, dst_switch_id, now)
+    if observation.congested:
+        system.counters.congested_flows += 1
+    tracer = system.tracer
+    if tracer.enabled:
+        for switch_id, utilization in observation.newly_congested:
+            tracer.emit(
+                LinkCongestedEvent(time=now, switch_id=switch_id, utilization=utilization)
+            )
+    model = system.latency_model
+    return model.queueing_delay_ms(observation.src_utilization) + model.queueing_delay_ms(
+        observation.dst_utilization
+    )
+
+
 def _fold_table_counters(perf, usage: TableUsageResult) -> None:
     """Expose table-pressure accounting through the perf registry."""
     perf.count("edge.table_overflows", usage.overflows)
@@ -123,6 +158,7 @@ class LazyCtrlSystem:
         self.tracer = NULL_TRACER
         self.failover_records: List = []
         self._last_table_sweep = 0.0
+        self._link_meter = build_link_meter(network)
 
         for info in network.switches():
             switch = LazyCtrlEdgeSwitch(
@@ -206,6 +242,11 @@ class LazyCtrlSystem:
             if result.egress_switch_id is None:
                 path = FlowPathKind.DROPPED
 
+        penalty = _congestion_penalty_ms(self, flow, src_host.switch_id, dst_host.switch_id, now)
+        if penalty > 0.0:
+            first += penalty
+            steady += penalty
+
         self.counters.flows_handled += 1
         self.counters.duplicate_deliveries += duplicates
         if false_positive_drop:
@@ -264,6 +305,10 @@ class LazyCtrlSystem:
                 now,
                 sum(len(switch.flow_table) for switch in self.controller.switches()),
             )
+            if self._link_meter is not None:
+                self.tracer.gauge(
+                    "link_utilization", now, self._link_meter.max_utilization(now)
+                )
 
     def _sweep_tables(self, now: float) -> None:
         """Eagerly expire aged flow rules, at most once per sweep interval.
@@ -335,6 +380,12 @@ class LazyCtrlSystem:
             (switch.flow_table for switch in self.controller.switches()),
             self.controller.flow_removed_received,
         )
+
+    def link_usage(self, duration_seconds: float):
+        """Per-uplink utilization matrix, or ``None`` without capacities."""
+        if self._link_meter is None:
+            return None
+        return self._link_meter.usage(duration_seconds)
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""
@@ -430,6 +481,7 @@ class OpenFlowSystem:
         self.perf = NULL_RECORDER
         self.tracer = NULL_TRACER
         self._last_table_sweep = 0.0
+        self._link_meter = build_link_meter(network)
 
         self._switches: Dict[int, OpenFlowEdgeSwitch] = {}
         for info in network.switches():
@@ -495,6 +547,11 @@ class OpenFlowSystem:
             steady = latency_model.flow_table_hit_ms()
             self.counters.controller_requests += 1
 
+        penalty = _congestion_penalty_ms(self, flow, src_host.switch_id, dst_host.switch_id, now)
+        if penalty > 0.0:
+            first += penalty
+            steady += penalty
+
         self.counters.flows_handled += 1
         self.latency_recorder.record(now, first)
         if flow.packet_count > 1:
@@ -522,6 +579,10 @@ class OpenFlowSystem:
                 now,
                 sum(len(switch.flow_table) for switch in self._switches.values()),
             )
+            if self._link_meter is not None:
+                self.tracer.gauge(
+                    "link_utilization", now, self._link_meter.max_utilization(now)
+                )
         with self.perf.timeit("table_sweep"):
             if now - self._last_table_sweep < self.config.flow_table.sweep_interval_seconds:
                 return
@@ -572,6 +633,12 @@ class OpenFlowSystem:
             (switch.flow_table for switch in self._switches.values()),
             self.controller.flow_removed_received,
         )
+
+    def link_usage(self, duration_seconds: float):
+        """Per-uplink utilization matrix, or ``None`` without capacities."""
+        if self._link_meter is None:
+            return None
+        return self._link_meter.usage(duration_seconds)
 
     def workload_series(self):
         """Controller requests bucketed over simulation time."""

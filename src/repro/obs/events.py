@@ -139,6 +139,23 @@ class ChurnAppliedEvent(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class LinkCongestedEvent(TraceEvent):
+    """An uplink's accounting window was first offered at least its capacity.
+
+    Emitted at most once per (switch, accounting window) — the crossing,
+    not every arrival on an already-hot link — so the stream stays bounded
+    by links x windows no matter how deep the overload goes.
+    ``utilization`` is the offered load as a fraction of capacity at the
+    moment of the crossing (>= 1.0 by construction).
+    """
+
+    event: ClassVar[str] = "link_congested"
+
+    switch_id: int
+    utilization: float
+
+
+@dataclass(frozen=True, slots=True)
 class ChunkDrainedEvent(TraceEvent):
     """The replayer finished one stream chunk of ``flows`` arrivals."""
 
@@ -170,6 +187,7 @@ EVENT_TYPES: Dict[str, type] = {
         RegroupStartEvent,
         RegroupFinishEvent,
         ChurnAppliedEvent,
+        LinkCongestedEvent,
         ChunkDrainedEvent,
         ReplayTickEvent,
     )

@@ -49,6 +49,7 @@ _PREFERRED_ORDER = (
     "reinstalls",
     "regroups",
     "churn_events",
+    "link_congested",
     "chunks_drained",
     "replay_ticks",
 )
@@ -93,10 +94,26 @@ class TimelineResult:
     bucket_count: int
     counts: Dict[str, List[int]] = field(default_factory=dict)
     gauges: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    # Whole-run log-histogram of first-packet latencies (bin index ->
+    # count; string keys because the result round-trips through JSON).
+    # Exact integer counts, so shard merges can sum it like the counter
+    # series and whole-run percentiles stay derivable after a merge.
+    latency_bins: Dict[str, int] = field(default_factory=dict)
 
     def total(self, name: str) -> int:
         """The whole-run sum of one counter series (0 when absent)."""
         return sum(self.counts.get(name, ()))
+
+    def latency_percentile(self, fraction: float) -> Optional[float]:
+        """A whole-run first-packet latency percentile, or ``None`` if unrecorded.
+
+        Computed from the run-wide log-histogram, same bin resolution as
+        the per-bucket ``latency_p*_ms`` gauges (about 26% per bin).
+        """
+        if not self.latency_bins:
+            return None
+        bins = {int(index): count for index, count in self.latency_bins.items()}
+        return _histogram_percentile(bins, fraction)
 
     def rate_series(self, name: str) -> List[float]:
         """One counter series as per-second rates."""
@@ -163,6 +180,8 @@ class MetricsTimeline:
         elif name == "regroup_finish":
             if event.applied:
                 self._count("regroups", event.time)
+        elif name == "link_congested":
+            self._count("link_congested", event.time)
         elif name == "chunk_drained":
             self._count("chunks_drained", event.time)
         elif name == "replay_tick":
@@ -225,6 +244,7 @@ class MetricsTimeline:
                 peak_series[index] = value if previous is None else max(previous, value)
             gauges[f"{name}_peak"] = peak_series
 
+        latency_bins: Dict[str, int] = {}
         if self._latency:
             for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
                 series = [None] * bucket_count
@@ -232,12 +252,18 @@ class MetricsTimeline:
                     if bins:
                         series[min(bucket, last)] = _histogram_percentile(bins, fraction)
                 gauges[f"latency_{label}_ms"] = series
+            merged: Dict[int, int] = {}
+            for bins in self._latency.values():
+                for index, count in bins.items():
+                    merged[index] = merged.get(index, 0) + count
+            latency_bins = {str(index): merged[index] for index in sorted(merged)}
 
         return TimelineResult(
             bucket_seconds=self.bucket_seconds,
             bucket_count=bucket_count,
             counts=counts,
             gauges=gauges,
+            latency_bins=latency_bins,
         )
 
 

@@ -44,10 +44,26 @@ EXACT_SYSTEM_KEYS = (
     "table_reinstalls",
     "table_peak_occupancy",
     "flow_removed_messages",
+    # Bandwidth/congestion accounting: flows that arrived on an uplink at
+    # or over capacity, and the number of (link, window) cells offered at
+    # least their capacity — pure replay arithmetic on capacitated runs.
+    "congested_flows",
+    "link_congested_cells",
 )
 
 #: Per-system deterministic floats (replay arithmetic, not wall-clock).
-CLOSE_SYSTEM_KEYS = ("mean_krps", "peak_krps", "mean_latency_ms")
+CLOSE_SYSTEM_KEYS = (
+    "mean_krps",
+    "peak_krps",
+    "mean_latency_ms",
+    # Peak offered-load fraction and whole-run latency percentiles: replay
+    # arithmetic too, but float-folded (sums of per-flow contributions /
+    # log-histogram bin midpoints), so they get the epsilon treatment.
+    "link_peak_utilization",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+)
 
 #: Top-level keys that must match exactly.
 EXACT_TOP_KEYS = ("scenario", "flows", "switches", "hosts")

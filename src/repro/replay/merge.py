@@ -35,6 +35,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bandwidth.usage import LinkUsageResult
 from repro.core.results import (
     LatencySeriesResult,
     RunResult,
@@ -141,6 +142,7 @@ def merge_outcomes(outcomes: Sequence[ShardOutcome], *, schedule: ScheduleSpec) 
         perf=_merge_perf([outcome.run.perf for outcome in ordered]),
         tables=_merge_tables([outcome.run.tables for outcome in ordered]),
         timeline=_merge_timelines([outcome.run.timeline for outcome in ordered]),
+        links=_merge_links([outcome.run.links for outcome in ordered]),
     )
 
 
@@ -156,6 +158,34 @@ def _merge_tables(tables: Sequence[Optional[TableUsageResult]]) -> Optional[Tabl
         peak_occupancy=max(table.peak_occupancy for table in tables),
         final_occupancy=tables[-1].final_occupancy,
         **summed,
+    )
+
+
+def _merge_links(usages: Sequence[Optional[LinkUsageResult]]) -> Optional[LinkUsageResult]:
+    """Sum per-shard utilization matrices cell-wise.
+
+    Offered-load fractions are sums of per-flow contributions, so — like the
+    counter series — disjoint time-window shards each contribute their own
+    windows' loads and cell-wise addition reassembles the serial matrix.
+    Series of unequal length (a shard ended early) are padded with zeros.
+    """
+    if any(usage is None for usage in usages):
+        return None
+    merged: Dict[str, List[float]] = {}
+    for usage in usages:
+        for key, series in usage.utilization.items():
+            into = merged.get(key)
+            if into is None:
+                merged[key] = list(series)
+                continue
+            if len(series) > len(into):
+                into.extend([0.0] * (len(series) - len(into)))
+            for index, value in enumerate(series):
+                into[index] += value
+    return LinkUsageResult(
+        window_seconds=usages[0].window_seconds,
+        capacities_mbps=dict(usages[0].capacities_mbps),
+        utilization=dict(sorted(merged.items(), key=lambda item: int(item[0]))),
     )
 
 
@@ -198,11 +228,18 @@ def _merge_timelines(timelines: Sequence[Optional[TimelineResult]]) -> Optional[
                     merged_series[index] = value
         gauges[name] = merged_series
 
+    latency_bins: Dict[int, int] = {}
+    for timeline in timelines:
+        for index, count in timeline.latency_bins.items():
+            index = int(index)
+            latency_bins[index] = latency_bins.get(index, 0) + count
+
     return TimelineResult(
         bucket_seconds=timelines[0].bucket_seconds,
         bucket_count=bucket_count,
         counts=dict(sorted(counts.items())),
         gauges=gauges,
+        latency_bins={str(index): latency_bins[index] for index in sorted(latency_bins)},
     )
 
 

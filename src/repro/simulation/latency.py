@@ -110,6 +110,18 @@ class LatencyModel:
             total = total + cfg.arp_flood_ms + 2 * cfg.controller_rtt_ms
         return total
 
+    def queueing_delay_ms(self, utilization: float) -> float:
+        """Total of :meth:`queueing_delay` without building the breakdown.
+
+        Same guard and same arithmetic as the breakdown method, so the two
+        stay bit-identical for every (config, utilization) pair.
+        """
+        cfg = self._config
+        if cfg.queueing_service_ms <= 0.0 or utilization <= 0.0:
+            return 0.0
+        rho = min(utilization, cfg.queueing_utilization_cap)
+        return cfg.queueing_service_ms * rho / (1.0 - rho)
+
     # -- data-plane-only paths -------------------------------------------
 
     def local_delivery(self) -> LatencyBreakdown:
@@ -201,6 +213,22 @@ class LatencyModel:
             components["arp_flood"] = cfg.arp_flood_ms
             components["learning_round_trip"] = 2 * cfg.controller_rtt_ms
         return LatencyBreakdown(total_ms=sum(components.values()), components=components)
+
+    def queueing_delay(self, utilization: float) -> LatencyBreakdown:
+        """M/M/1-style queueing on one capacitated uplink at ``utilization``.
+
+        The offered load ``rho`` is capped strictly below 1 (the classic
+        ``rho / (1 - rho)`` form diverges at saturation), so overloaded
+        links — utilization above 1.0 — pay the capped worst case rather
+        than an unbounded delay.  A zero service time disables the term.
+        """
+        cfg = self._config
+        if cfg.queueing_service_ms <= 0.0 or utilization <= 0.0:
+            return LatencyBreakdown.build(queueing=0.0)
+        rho = min(utilization, cfg.queueing_utilization_cap)
+        return LatencyBreakdown.build(
+            queueing=cfg.queueing_service_ms * rho / (1.0 - rho)
+        )
 
     def cross_group_arp_resolution(self, controller_load_rps: float, group_count: int) -> LatencyBreakdown:
         """LazyCtrl ARP resolution that escalates to the controller (level iii)."""

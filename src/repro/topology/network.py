@@ -42,6 +42,10 @@ class DataCenterNetwork:
         # departed (workload churn) must not inherit the departed VM's MAC.
         self._next_host_id = 0
         self.tenants = TenantDirectory()
+        # Uplink capacities into the one-hop core, by switch.  Empty means
+        # links are uncapacitated and the bandwidth subsystem stays inert.
+        self._uplink_mbps: Dict[int, float] = {}
+        self.link_utilization_window_seconds: float = 300.0
 
     # -- switches ----------------------------------------------------------
 
@@ -76,6 +80,33 @@ class DataCenterNetwork:
     def switch_count(self) -> int:
         """Number of edge switches."""
         return len(self._switches)
+
+    # -- link capacities ----------------------------------------------------
+
+    def set_uplink_capacity_mbps(self, switch_id: int, mbps: float) -> None:
+        """Assign a capacity to ``switch_id``'s uplink into the core."""
+        self.switch(switch_id)
+        if mbps <= 0:
+            raise TopologyError(f"uplink capacity must be positive, got {mbps}")
+        self._uplink_mbps[switch_id] = float(mbps)
+
+    def uplink_capacity_mbps(self, switch_id: int) -> Optional[float]:
+        """The uplink capacity of ``switch_id``, or ``None`` when uncapacitated."""
+        return self._uplink_mbps.get(switch_id)
+
+    def link_capacities_mbps(self) -> Dict[int, float]:
+        """All assigned uplink capacities by switch id (possibly empty)."""
+        return dict(self._uplink_mbps)
+
+    def has_link_capacities(self) -> bool:
+        """Whether any uplink has a capacity assigned."""
+        return bool(self._uplink_mbps)
+
+    def set_link_utilization_window(self, seconds: float) -> None:
+        """Set the accounting window the utilization meter buckets bytes into."""
+        if seconds <= 0:
+            raise TopologyError(f"utilization window must be positive, got {seconds}")
+        self.link_utilization_window_seconds = float(seconds)
 
     # -- hosts ---------------------------------------------------------------
 
@@ -211,6 +242,8 @@ class DataCenterNetwork:
         if [(info.switch_id, info.port_count) for info in self.switches()] != [
             (info.switch_id, info.port_count) for info in other.switches()
         ]:
+            return False
+        if self._uplink_mbps != other._uplink_mbps:
             return False
         if {
             host.host_id: (host.tenant_id, host.switch_id, host.port) for host in self.hosts()

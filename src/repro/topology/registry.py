@@ -150,7 +150,9 @@ def _register_builtin_topologies() -> None:
         description="The published real-trace dimensions (272 switches / 6509 hosts), scalable",
     )
     def _build_paper_real(params):
-        return build_paper_real_topology(scale=params.scale, seed=params.seed)
+        return build_paper_real_topology(
+            scale=params.scale, seed=params.seed, uplink_mbps=params.uplink_mbps
+        )
 
     @register_topology(
         "paper-synthetic",
@@ -159,7 +161,9 @@ def _register_builtin_topologies() -> None:
         description="The 10x synthetic dimensions (2713 switches / 65090 hosts), scalable",
     )
     def _build_paper_synthetic(params):
-        return build_paper_synthetic_topology(scale=params.scale, seed=params.seed)
+        return build_paper_synthetic_topology(
+            scale=params.scale, seed=params.seed, uplink_mbps=params.uplink_mbps
+        )
 
     register_topology(
         "striped",

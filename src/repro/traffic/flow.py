@@ -9,7 +9,10 @@ is phrased almost entirely in terms of flow arrivals per second.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bandwidth.profile import RateProfile
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -27,6 +30,10 @@ class FlowRecord:
     packet_count: int = 10
     byte_count: int = 15_000
     duration: float = 1.0
+    # Excluded from ordering: flow ids are unique within a trace, so the
+    # comparison never gets this far, and a None/profile mix must not break
+    # sorting if it somehow did.
+    rate_profile: Optional[RateProfile] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.start_time < 0:
@@ -37,8 +44,10 @@ class FlowRecord:
             raise ValueError("packet_count must be positive")
         if self.byte_count <= 0:
             raise ValueError("byte_count must be positive")
-        if self.duration < 0:
-            raise ValueError("duration must be non-negative")
+        # A zero duration would divide-by-zero in rate derivation; negative
+        # durations were always nonsense.
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
 
     @property
     def host_pair(self) -> tuple[int, int]:
@@ -55,3 +64,14 @@ class FlowRecord:
     def end_time(self) -> float:
         """Time at which the flow's last packet is sent."""
         return self.start_time + self.duration
+
+    def resolved_rate_profile(self) -> RateProfile:
+        """The attached rate profile, or the constant profile its totals imply.
+
+        The derivation is deterministic — ``byte_count * 8 / duration`` over
+        ``duration`` — so two replays of the same trace always account the
+        same bytes to the same instants.
+        """
+        if self.rate_profile is not None:
+            return self.rate_profile
+        return RateProfile.constant(self.byte_count * 8.0 / self.duration, self.duration)

@@ -424,6 +424,58 @@ class TestCompare:
         assert main(["compare", "/definitely/not/here.json"]) == 2
 
 
+class TestCongestionCli:
+    def test_heatmap_renders_matrix_and_percentiles(self, capsys):
+        assert main(["heatmap", "incast-congestion", "--flows", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "p99 (ms)" in out
+        assert "OpenFlow" in out and "LazyCtrl (dynamic)" in out
+
+    def test_heatmap_requires_capacities(self, capsys):
+        assert main(["heatmap", "paper-fig7", *RUN_SMALL]) == 2
+        err = capsys.readouterr().err
+        assert "assigns no link capacities" in err
+        assert "--uplink-mbps" in err
+
+    def test_uplink_override_capacitates_any_preset(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["run", "paper-fig7", *RUN_SMALL, "--out", str(out_path),
+                     "--uplink-mbps", "0.5", "--queueing-ms", "0.25"])
+        assert code == 0
+        result = ScenarioResult.from_dict(json.loads(out_path.read_text()))
+        assert result.spec.links.uplink_mbps == 0.5
+        assert result.spec.links.queueing_service_ms == 0.25
+        assert result.spec.effective_config().latency.queueing_service_ms == 0.25
+        for run in result.runs.values():
+            assert run.links is not None
+
+    def test_compare_preset_shows_latency_percentile_columns(self, capsys):
+        assert main(["compare", "failover"]) == 0
+        out = capsys.readouterr().out
+        assert "p50 (ms)" in out and "p95 (ms)" in out and "p99 (ms)" in out
+        # Preset targets are re-run with a timeline, so the cells are numeric.
+        assert " - " not in out.split("p99 (ms)")[-1].splitlines()[2]
+
+    def test_compare_saved_results_dash_without_timeline(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["run", "paper-fig7", *RUN_SMALL, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "p99 (ms)" in out  # columns stay; untraced runs render "-"
+
+    def test_bench_payload_reports_congestion_keys(self, tmp_path, capsys):
+        code = main(["bench", "--presets", "incast-congestion", "--flows", "3000",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_incast-congestion.json").read_text())
+        for record in payload["systems"].values():
+            assert {"congested_flows", "link_congested_cells", "link_peak_utilization",
+                    "link_utilization_max", "latency_p50_ms", "latency_p95_ms",
+                    "latency_p99_ms"} <= set(record)
+
+
 class TestBenchBaselineCoverage:
     def test_every_committed_baseline_is_produced_by_a_bench_preset(self):
         """Static stale-baseline tripwire.
