@@ -21,6 +21,12 @@ setup(
     package_dir={"": "src"},
     python_requires=">=3.10",
     entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    # numpy backs the vectorized replay kernel (repro.kernel).  The floor is
+    # the oldest release whose float64 ufuncs we rely on for bit-identity
+    # with CPython arithmetic on every supported Python version.  The kernel
+    # imports it lazily, so a source checkout without numpy still imports and
+    # runs everything scalar.
+    install_requires=["numpy>=1.24"],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },

@@ -92,7 +92,13 @@ BENCH_PRESETS = ("paper-fig7", "churn-migration", "traffic-mix")
 #: Scale-smoke presets benchmarked by their own (non-gating) CI job rather
 #: than the default list: they take minutes, so a full default run must not
 #: flag their committed baselines as stale.
-SMOKE_BENCH_PRESETS = ("paper-fig7-10m", "paper-fig7-100m", "table-pressure", "incast-congestion")
+SMOKE_BENCH_PRESETS = (
+    "paper-fig7-10m",
+    "paper-fig7-100m",
+    "paper-fig7-vectorized",
+    "table-pressure",
+    "incast-congestion",
+)
 
 #: Where ``bench --check`` looks for committed baselines by default.
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"

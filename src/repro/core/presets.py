@@ -7,6 +7,9 @@ under a memorable name:
   LazyCtrl variants) at laptop scale;
 * ``paper-fig7-expanded`` — the same replay on the §V-D expanded trace
   (+30 % flows among previously silent pairs);
+* ``paper-fig7-vectorized`` — the same comparison at 500k flows per system
+  replayed through the columnar kernel (``ExecutionSpec.kernel``), the
+  speedup smoke behind ``BENCH_paper-fig7-vectorized.json``;
 * ``paper-fig7-10m`` — the same workload at 10 million flows with a
   streaming :class:`~repro.replay.spec.ExecutionSpec`: generated and
   replayed chunk by chunk in bounded memory (the scaling smoke behind
@@ -151,6 +154,27 @@ def _paper_fig7_100m() -> Tuple[ScenarioSpec, ...]:
             execution=ExecutionSpec(
                 workers=4, shard_strategy="time-window", shard_count=12, stream=True
             ),
+        ),
+    )
+
+
+def _paper_fig7_vectorized() -> Tuple[ScenarioSpec, ...]:
+    """The Fig. 7 comparison at 500k flows per system on the columnar kernel.
+
+    Same topology, schedule and systems as ``paper-fig7`` — only the flow
+    count is scaled up (so the replay hot path, not setup, dominates the
+    wall clock) and ``ExecutionSpec.kernel`` selects the vectorized batch
+    path.  The kernel is bit-identical to the scalar replayer by contract,
+    so the committed ``BENCH_paper-fig7-vectorized.json`` gates both the
+    speedup and the exact counters it must preserve.
+    """
+    spec = _paper_fig7()[0]
+    return (
+        dataclasses.replace(
+            spec,
+            name="paper-fig7-vectorized",
+            traffic=TraceSpec.realistic(total_flows=500_000, seed=2015),
+            execution=ExecutionSpec(kernel="vectorized"),
         ),
     )
 
@@ -454,6 +478,11 @@ _PRESETS: Dict[str, Preset] = {
             name="paper-fig7",
             description="Fig. 7/8/9 day-long replay: OpenFlow vs LazyCtrl static/dynamic (laptop scale)",
             build=_paper_fig7,
+        ),
+        Preset(
+            name="paper-fig7-vectorized",
+            description="Fig. 7 comparison at 500k flows/system on the vectorized columnar kernel",
+            build=_paper_fig7_vectorized,
         ),
         Preset(
             name="paper-fig7-expanded",

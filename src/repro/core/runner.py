@@ -335,6 +335,7 @@ class ScenarioRunner:
                     churn=spec.churn,
                     perf=PerfRecorder() if collect_perf else None,
                     tracer=tracer,
+                    kernel=spec.execution.kernel,
                 )
         finally:
             if events_sink is not None:
@@ -357,6 +358,7 @@ class ScenarioRunner:
         tracer=NULL_TRACER,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        kernel: str = "scalar",
     ) -> RunResult:
         """Drive one registered control plane over a trace or chunk stream.
 
@@ -383,6 +385,13 @@ class ScenarioRunner:
         rates zero) is ignored entirely, so it reproduces the churn-free
         replay bit for bit.
 
+        ``kernel`` selects the per-shard flow-handling engine (see
+        :class:`~repro.replay.spec.ExecutionSpec`): ``"vectorized"`` runs
+        the columnar numpy kernel from :mod:`repro.kernel`, bit-identical
+        to the scalar path by construction.  It silently degrades to
+        scalar when the replay needs per-flow engine lockstep (active
+        churn) or the control plane is not a known accelerable system.
+
         .. warning:: Active churn mutates ``trace.network`` in place during
            the replay.  To compare systems fairly, give each call its own
            trace bound to a pristine network (rebind the flows with
@@ -401,6 +410,7 @@ class ScenarioRunner:
             tracer=tracer,
             start=start,
             end=end,
+            kernel=kernel,
         )
         return run
 
@@ -418,6 +428,7 @@ class ScenarioRunner:
         tracer=NULL_TRACER,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        kernel: str = "scalar",
     ) -> Tuple[RunResult, ControlPlane]:
         """:meth:`replay_system` body, also handing back the control plane.
 
@@ -475,6 +486,17 @@ class ScenarioRunner:
                 tracer=tracer,
             )
 
+        batch_handler = None
+        if kernel == "vectorized" and engine is None:
+            # Engine lockstep (active churn) needs per-flow draining, so the
+            # kernel only takes over engine-free replays; build_batch_handler
+            # returns None for control planes it cannot accelerate.
+            from repro.kernel import build_batch_handler
+
+            batch_handler = build_batch_handler(
+                plane, perf=perf if perf is not None else NULL_RECORDER
+            )
+
         replayer = TraceReplayer(
             trace,
             plane,
@@ -483,6 +505,7 @@ class ScenarioRunner:
             event_engine=engine,
             perf=perf if perf is not None else NULL_RECORDER,
             tracer=tracer,
+            batch_handler=batch_handler,
         )
         started = perf_counter()
         progress = replayer.replay(

@@ -107,7 +107,7 @@ class GroupFib:
     exactly as the paper's forwarding routine anticipates.
     """
 
-    __slots__ = ("_config", "_filters", "_exact", "_query_cache", "query_count", "query_cache_hits")
+    __slots__ = ("_config", "_filters", "_exact", "_query_cache", "query_count", "query_cache_hits", "version")
 
     #: Cached query results are cleared wholesale past this size rather than
     #: tracking per-entry recency; real replays query far fewer distinct MACs.
@@ -125,6 +125,11 @@ class GroupFib:
         self._query_cache: Dict[MacAddress, tuple[int, ...]] = {}
         self.query_count = 0
         self.query_cache_hits = 0
+        # Bumped whenever the set of peer filters changes; lets callers
+        # memoize query results across the quiet stretches between
+        # disseminations (the query cache itself is cleared on the same
+        # events, but observing a counter is cheaper than re-querying).
+        self.version = 0
 
     @property
     def config(self) -> BloomFilterConfig:
@@ -146,6 +151,7 @@ class GroupFib:
         bloom.add_all(mac.to_bytes() for mac in mac_list)
         self._filters[switch_id] = bloom
         self._query_cache.clear()
+        self.version += 1
         if self._exact is not None:
             self._exact[switch_id] = set(mac_list)
 
@@ -153,6 +159,7 @@ class GroupFib:
         """Drop the filter for a peer that left the group."""
         self._filters.pop(switch_id, None)
         self._query_cache.clear()
+        self.version += 1
         if self._exact is not None:
             self._exact.pop(switch_id, None)
 
@@ -160,6 +167,7 @@ class GroupFib:
         """Remove every peer filter (switch left its group)."""
         self._filters.clear()
         self._query_cache.clear()
+        self.version += 1
         if self._exact is not None:
             self._exact.clear()
 

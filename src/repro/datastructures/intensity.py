@@ -56,6 +56,31 @@ class IntensityMatrix:
         self._counts[self._ordered(src_switch, dst_switch)] += amount
         self._total += amount
 
+    def record_many(self, src_switch: int, dst_switch: int, count: int, amount: float = 1.0) -> None:
+        """Accumulate ``count`` separate :meth:`record` calls' worth of intensity.
+
+        Bit-identical to calling :meth:`record` ``count`` times in a row: the
+        pair's intensity and the total are built by the same sequence of
+        float additions, and the pair key is inserted into the underlying
+        dict at the same point (callers replay pairs in first-observation
+        order for exactly this reason — downstream folds iterate insertion
+        order).
+        """
+        if count <= 0:
+            return
+        self._switches.add(src_switch)
+        self._switches.add(dst_switch)
+        if src_switch == dst_switch:
+            return
+        key = self._ordered(src_switch, dst_switch)
+        value = self._counts[key]
+        total = self._total
+        for _ in range(count):
+            value += amount
+            total += amount
+        self._counts[key] = value
+        self._total = total
+
     def intensity(self, a: int, b: int) -> float:
         """Raw accumulated intensity between switches ``a`` and ``b``."""
         if a == b:

@@ -1,0 +1,59 @@
+"""Columnar replay kernel — the vectorized per-shard fast path.
+
+This package is the optimization layer behind ``ExecutionSpec.kernel ==
+"vectorized"``: each replay batch (the flows between two periodic ticks) is
+re-expressed as parallel numpy arrays and classified against a snapshot of
+per-switch L-FIB/flow-table state.  Flows whose handling is a pure function
+of that snapshot (local delivery, live flow-table hits, intra-group
+forwarding) are accounted in bulk; everything that needs the control plane
+(packet-in, table pressure, expired rules, departed endpoints) falls back to
+the scalar per-flow path.  The kernel is *not* a second semantics: counters,
+timelines, latency totals and link matrices stay bit-identical to the scalar
+replayer, and the equivalence suite in ``tests/test_kernel_equivalence.py``
+gates exactly that.
+
+numpy is deliberately a soft dependency: importing :mod:`repro` (and running
+any scalar replay) never imports this package.  Requesting
+``kernel=vectorized`` without numpy installed raises a
+:class:`~repro.common.errors.ConfigurationError` instead of an ImportError
+deep inside a replay.
+"""
+
+from __future__ import annotations
+
+from importlib import util as _importlib_util
+
+from repro.common.errors import ConfigurationError
+from repro.perf.recorder import NULL_RECORDER
+
+__all__ = ["build_batch_handler", "numpy_available", "require_numpy"]
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported (without importing it)."""
+    return _importlib_util.find_spec("numpy") is not None
+
+
+def require_numpy() -> None:
+    """Raise a clear configuration error when numpy is missing."""
+    if not numpy_available():
+        raise ConfigurationError(
+            "execution kernel 'vectorized' requires numpy, which is not "
+            "installed; install the package (pip install numpy) or run with "
+            "kernel=scalar"
+        )
+
+
+def build_batch_handler(plane, *, perf=NULL_RECORDER):
+    """Build the vectorized batch handler for one control plane.
+
+    Returns a callable accepting one replay batch (a list of
+    :class:`~repro.traffic.flow.FlowRecord`), or ``None`` when ``plane`` is
+    not a plane type the kernel knows how to accelerate (custom control
+    planes registered by tests keep the scalar path).  Raises
+    :class:`~repro.common.errors.ConfigurationError` when numpy is missing.
+    """
+    require_numpy()
+    from repro.kernel.columnar import build_kernel
+
+    return build_kernel(plane, perf=perf)

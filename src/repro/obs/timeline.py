@@ -200,6 +200,29 @@ class MetricsTimeline:
         index = _latency_bin(latency_ms)
         bins[index] = bins.get(index, 0) + 1
 
+    def record_flows_bulk(
+        self, flow_counts: Dict[int, int], latency_bin_counts: Dict[tuple, int]
+    ) -> None:
+        """Fold many :meth:`record_flow` observations at once.
+
+        The vectorized replay kernel's bulk companion: ``flow_counts`` maps a
+        bucket index (already clamped via the :meth:`_bucket` rule) to a flow
+        count, and ``latency_bin_counts`` maps ``(bucket, latency_bin)`` to a
+        sample count.  All additions are integer and therefore order-free, so
+        the result is identical to the equivalent per-flow calls.
+        """
+        if flow_counts:
+            buckets = self._counts.get("flows")
+            if buckets is None:
+                buckets = self._counts["flows"] = {}
+            for bucket, amount in flow_counts.items():
+                buckets[bucket] = buckets.get(bucket, 0) + amount
+        for (bucket, index), amount in latency_bin_counts.items():
+            bins = self._latency.get(bucket)
+            if bins is None:
+                bins = self._latency[bucket] = {}
+            bins[index] = bins.get(index, 0) + amount
+
     def record_gauge(self, name: str, now: float, value: float) -> None:
         """Record one sampled level (last and peak per bucket)."""
         bucket = self._bucket(now)

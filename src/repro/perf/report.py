@@ -69,6 +69,43 @@ class PerfSnapshot:
         return dataclass_from_dict(cls, cleaned)
 
 
+def format_kernel_breakdown(snapshot: PerfSnapshot) -> str:
+    """Render the vectorized-kernel section of a profile, if the kernel ran.
+
+    Shows what a bench run cannot: how much of the replay actually stayed on
+    the array path (overall and for the worst single batch) and where the
+    kernel's own time went, so a fallback regression — a scenario drifting
+    into scalar territory — is visible from ``repro profile`` alone.
+    Returns the empty string for runs that never engaged the kernel.
+    """
+    counters = snapshot.counters
+    vectorized = counters.get("kernel.flows_vectorized")
+    if vectorized is None:
+        return ""
+    fallback = counters.get("kernel.flows_fallback", 0)
+    total = vectorized + fallback
+    coverage = vectorized / total if total else 0.0
+    lines = [
+        "kernel:",
+        f"  coverage: {coverage:.1%} ({vectorized:,} of {total:,} flows on the array path)",
+    ]
+    batches = counters.get("kernel.batches", 0)
+    bypassed = counters.get("kernel.batches_bypassed", 0)
+    lines.append(f"  batches: {batches:,} ({bypassed:,} bypassed to the scalar path whole)")
+    floor = snapshot.gauges.get("kernel.min_batch_coverage")
+    if floor is not None:
+        lines.append(f"  worst single-batch coverage: {floor:.1%}")
+    for name in ("kernel_classify", "kernel_fallback", "kernel_accumulate"):
+        try:
+            stage = snapshot.stage(name)
+        except KeyError:
+            continue
+        lines.append(
+            f"  {name.removeprefix('kernel_')}: {stage.total_seconds:.3f}s over {stage.calls:,} batches"
+        )
+    return "\n".join(lines)
+
+
 def format_stage_breakdown(snapshot: PerfSnapshot, *, label: str = "") -> str:
     """Render one snapshot as the per-stage table ``repro profile`` prints."""
     from repro.analysis.reports import format_table
@@ -96,6 +133,9 @@ def format_stage_breakdown(snapshot: PerfSnapshot, *, label: str = "") -> str:
     )
     counter_lines = [f"  {name} = {value}" for name, value in snapshot.counters.items()]
     parts = [table, headline]
+    kernel = format_kernel_breakdown(snapshot)
+    if kernel:
+        parts.append(kernel)
     if counter_lines:
         parts.append("counters:")
         parts.extend(counter_lines)

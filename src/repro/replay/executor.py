@@ -82,6 +82,7 @@ def execute_shard(
         tracer=tracer,
         start=shard.start,
         end=shard.end,
+        kernel=spec.execution.kernel,
     )
     wall_seconds = perf_counter() - started
 

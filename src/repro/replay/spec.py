@@ -18,7 +18,12 @@ frozen, JSON-round-trippable dataclass carried on
 * ``chunk_flows`` — chunk size used when a materialized trace is adapted
   into the stream protocol (0 = the library default; the *generated* chunk
   grid is never a runtime knob, because it feeds the per-chunk RNG);
-* ``stream`` — the bounded-memory chunked generation/replay path.
+* ``stream`` — the bounded-memory chunked generation/replay path;
+* ``kernel`` — the per-shard flow-handling engine: ``"scalar"`` (one
+  ``FlowRecord`` at a time through the dataplane objects) or
+  ``"vectorized"`` (the columnar numpy kernel in :mod:`repro.kernel`,
+  which batches the fast path and falls back to the scalar path for
+  flows that need the control plane).
 
 Execution knobs never change *what* a serial replay measures — only how
 (and how fast) the measurement is produced.
@@ -37,6 +42,9 @@ from repro.common.serialize import dataclass_from_dict, dataclass_to_dict
 #: Registered shard strategies (see :mod:`repro.replay.sharding`).
 SHARD_STRATEGIES = ("system", "time-window")
 
+#: Registered replay kernels (see :mod:`repro.kernel`).
+KERNELS = ("scalar", "vectorized")
+
 #: ``--exec`` keys accepted by :meth:`ExecutionSpec.parse` (dashes allowed).
 _PARSE_COERCERS = {
     "workers": int,
@@ -44,6 +52,7 @@ _PARSE_COERCERS = {
     "shard_count": int,
     "chunk_flows": int,
     "stream": None,  # bool, parsed specially
+    "kernel": str,
 }
 
 _TRUE_WORDS = frozenset({"true", "yes", "on", "1"})
@@ -70,6 +79,7 @@ class ExecutionSpec:
     shard_count: int = 0
     chunk_flows: int = 0
     stream: bool = False
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -78,6 +88,11 @@ class ExecutionSpec:
             known = ", ".join(repr(name) for name in SHARD_STRATEGIES)
             raise ConfigurationError(
                 f"unknown shard strategy {self.shard_strategy!r}; known strategies: {known}"
+            )
+        if self.kernel not in KERNELS:
+            known = ", ".join(repr(name) for name in KERNELS)
+            raise ConfigurationError(
+                f"unknown replay kernel {self.kernel!r}; known kernels: {known}"
             )
         if self.shard_count < 0:
             raise ConfigurationError("shard_count must be non-negative (0 = derive from workers)")

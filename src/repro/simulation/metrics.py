@@ -116,6 +116,11 @@ class LatencyRecorder:
         self._counts: Dict[int, int] = {}
         self._all: List[float] | None = [] if keep_samples else None
 
+    @property
+    def bucket_seconds(self) -> float:
+        """Width of each bucket in seconds."""
+        return self._bucket_seconds
+
     def record(self, timestamp: float, latency_ms: float, *, count: int = 1) -> None:
         """Record ``count`` samples of value ``latency_ms`` observed at ``timestamp``.
 
@@ -130,6 +135,28 @@ class LatencyRecorder:
         self._counts[index] = self._counts.get(index, 0) + count
         if self._all is not None:
             self._all.extend([latency_ms] * min(count, 1000))
+
+    def record_bulk(self, index: int, addends: List[float], count: int) -> None:
+        """Fold precomputed per-call addends into one bucket, in order.
+
+        The vectorized replay kernel's companion to :meth:`record`: each
+        element of ``addends`` is the ``latency_ms * count`` term one scalar
+        ``record`` call would have added, and they are folded into the bucket
+        sum by the same sequential left-to-right addition, so the result is
+        bit-identical to making the individual calls.  ``count`` is the total
+        sample count across those calls.  Not supported with
+        ``keep_samples=True`` (the kernel never runs against a sample-keeping
+        recorder).
+        """
+        if count <= 0:
+            return
+        if self._all is not None:
+            raise ValueError("record_bulk is not supported with keep_samples=True")
+        total = self._sums.get(index, 0.0)
+        for addend in addends:
+            total += addend
+        self._sums[index] = total
+        self._counts[index] = self._counts.get(index, 0) + count
 
     def sample_count(self) -> int:
         """Total number of recorded samples."""

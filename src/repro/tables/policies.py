@@ -91,6 +91,22 @@ class TableTimeoutPolicy:
                 out.append((rule, reason))
         return out
 
+    # -- vectorization ------------------------------------------------------
+
+    def timeout_bounds(self) -> Optional[Tuple[float, float]]:
+        """Static ``(idle, hard)`` timeout bounds, or ``None`` if stateful.
+
+        The vectorized replay kernel classifies a rule as alive across a
+        batch of arrivals purely from these bounds (a rule expires once
+        ``now - last_matched_at > idle`` or ``now - installed_at > hard``).
+        A policy whose expiry depends on learned per-flow state — or whose
+        match/install hooks mutate state — must return ``None``, which makes
+        the kernel route every flow touching an installed rule through the
+        scalar path instead.  The base (``lru``) policy never expires
+        anything, so both bounds are infinite.
+        """
+        return (float("inf"), float("inf"))
+
     # -- eviction -----------------------------------------------------------
 
     def eviction_order(self, rules: Iterable["FlowRule"]) -> List["FlowRule"]:
@@ -135,6 +151,9 @@ class StaticIdlePolicy(TableTimeoutPolicy):
             if now - rule.last_matched_at > idle
         ]
 
+    def timeout_bounds(self) -> Optional[Tuple[float, float]]:
+        return (self._idle, float("inf"))
+
 
 @dataclass(frozen=True, slots=True)
 class StaticHardParams:
@@ -165,6 +184,9 @@ class StaticHardPolicy(TableTimeoutPolicy):
             for rule in rules
             if now - rule.installed_at > hard
         ]
+
+    def timeout_bounds(self) -> Optional[Tuple[float, float]]:
+        return (float("inf"), self._hard)
 
 
 @dataclass(frozen=True, slots=True)
@@ -198,6 +220,9 @@ class IdleHardHybridPolicy(TableTimeoutPolicy):
         if now - rule.last_matched_at > self._idle:
             return RemovalReason.IDLE_TIMEOUT
         return None
+
+    def timeout_bounds(self) -> Optional[Tuple[float, float]]:
+        return (self._idle, self._hard)
 
 
 @dataclass(frozen=True, slots=True)
@@ -294,6 +319,11 @@ class AdaptiveTimeoutPolicy(TableTimeoutPolicy):
     def expiry_reason(self, rule: "FlowRule", now: float) -> Optional[RemovalReason]:
         if now - rule.last_matched_at > self._timeout_of.get(rule.key, self._default):
             return RemovalReason.IDLE_TIMEOUT
+        return None
+
+    def timeout_bounds(self) -> Optional[Tuple[float, float]]:
+        # Per-key learned timeouts, and the match/install hooks mutate the
+        # predictor: batching would change what the predictor observes.
         return None
 
 

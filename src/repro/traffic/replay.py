@@ -91,6 +91,7 @@ class TraceReplayer:
         event_engine: "SimulationEngine | None" = None,
         perf=NULL_RECORDER,
         tracer=NULL_TRACER,
+        batch_handler: Optional[Callable[[Sequence[FlowRecord]], None]] = None,
     ) -> None:
         if periodic_interval <= 0:
             raise ValueError("periodic_interval must be positive")
@@ -101,6 +102,9 @@ class TraceReplayer:
         self._engine = event_engine
         self._perf = perf
         self._tracer = tracer
+        # Optional whole-batch fast path (the vectorized kernel).  Only used
+        # without a coupled engine: engine lockstep needs per-flow draining.
+        self._batch_handler = batch_handler
 
     def add_periodic_callback(self, callback: PeriodicCallback) -> None:
         """Register an additional housekeeping callback."""
@@ -131,6 +135,7 @@ class TraceReplayer:
         engine = self._engine
         tracer = self._tracer
         handle = self._sink.handle_flow_arrival
+        batch_handler = self._batch_handler if engine is None else None
         next_tick = start + interval
         last_arrival: Optional[float] = None
 
@@ -146,7 +151,9 @@ class TraceReplayer:
                 if boundary > index:
                     batch = flows[index:boundary]
                     with perf.timeit("flow_handling"):
-                        if engine is None:
+                        if batch_handler is not None:
+                            batch_handler(batch)
+                        elif engine is None:
                             for flow in batch:
                                 handle(flow, flow.start_time)
                         else:

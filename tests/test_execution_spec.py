@@ -32,6 +32,7 @@ class TestExecutionSpec:
         assert spec.shard_count == 0
         assert spec.chunk_flows == 0
         assert spec.stream is False
+        assert spec.kernel == "scalar"
         assert spec.parallel is False
 
     def test_parallel_property(self):
@@ -45,6 +46,7 @@ class TestExecutionSpec:
             {"shard_strategy": "typo"},
             {"shard_count": -1},
             {"chunk_flows": -5},
+            {"kernel": "simd"},
         ],
     )
     def test_validation_rejects_bad_values(self, kwargs):
@@ -52,7 +54,13 @@ class TestExecutionSpec:
             ExecutionSpec(**kwargs)
 
     def test_dict_round_trip(self):
-        spec = ExecutionSpec(workers=4, shard_strategy="time-window", shard_count=8, stream=True)
+        spec = ExecutionSpec(
+            workers=4,
+            shard_strategy="time-window",
+            shard_count=8,
+            stream=True,
+            kernel="vectorized",
+        )
         assert ExecutionSpec.from_dict(spec.to_dict()) == spec
         # to_dict must be JSON-serializable as-is.
         assert ExecutionSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
@@ -67,6 +75,11 @@ class TestExecutionSpecParse:
 
     def test_underscores_also_accepted(self):
         assert ExecutionSpec.parse("shard_count=3").shard_count == 3
+
+    def test_kernel_key(self):
+        assert ExecutionSpec.parse("kernel=vectorized").kernel == "vectorized"
+        with pytest.raises(ConfigurationError, match="kernel"):
+            ExecutionSpec.parse("kernel=simd")
 
     def test_json_object(self):
         spec = ExecutionSpec.parse('{"workers": 2, "stream": true}')

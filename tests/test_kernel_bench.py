@@ -1,0 +1,80 @@
+"""Micro-benchmarks for the columnar kernel's primitives, plus the float
+contract they lean on.
+
+``pytest-benchmark`` times the two array-heavy stages in isolation —
+``_classify`` (columnarize + pair-grouped classification) and
+``_accumulate`` (bulk counter/latency/timeline folds) — on a real
+lazyctrl-dynamic plane warmed with the paper-fig7 trace.  These numbers are
+for profiling regressions locally (``pytest tests/test_kernel_bench.py
+--benchmark-only``); in a plain test run each stage executes once as a
+smoke test, so CI cost stays negligible.
+
+The hypothesis test at the bottom pins the arithmetic identity the
+timeline fold depends on: ``np.floor_divide`` over float64 must agree with
+CPython's ``//`` for every (timestamp, bucket) pair the replay can produce.
+If that ever breaks on a numpy release, bit-identity breaks with it — and
+this is the test that says why.
+"""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.presets import get_preset
+from repro.core.registry import get_control_plane
+from repro.kernel.columnar import build_kernel
+
+BATCH_FLOWS = 4096
+
+
+@pytest.fixture(scope="module")
+def kernel_and_batch():
+    """A lazyctrl-dynamic plane warmed on paper-fig7, plus one real batch."""
+    spec = next(iter(get_preset("paper-fig7").specs()))
+    network = spec.build_network()
+    trace = spec.build_trace(network)
+    plane = get_control_plane("lazyctrl-dynamic").build(
+        network,
+        config=spec.effective_config(),
+        workload_bucket_seconds=spec.schedule.bucket_seconds,
+        latency_bucket_seconds=spec.schedule.bucket_seconds,
+    )
+    plane.prepare(trace, warmup_end=spec.schedule.warmup_seconds)
+    kernel = build_kernel(plane)
+    assert kernel is not None
+    return kernel, list(trace.flows[:BATCH_FLOWS])
+
+
+def test_classify_primitive(kernel_and_batch, benchmark):
+    """Columnarize + classify one batch.  Re-running is safe: _classify only
+    reads plane state and warms the pair-static memo."""
+    kernel, batch = kernel_and_batch
+    state = benchmark(kernel._classify, batch, len(batch))
+    assert state is not None
+    assert state["n"] == len(batch)
+
+
+def test_accumulate_primitive(kernel_and_batch, benchmark):
+    """Fold one classified batch into counters/latency/timeline.  Repeats
+    inflate the plane's counters, which is fine — this plane is never used
+    for result assertions."""
+    kernel, batch = kernel_and_batch
+    state = kernel._classify(batch, len(batch))
+    assert state is not None
+    benchmark(kernel._accumulate, state)
+
+
+@given(
+    t=st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    bucket=st.sampled_from((60.0, 120.0, 1800.0, 3600.0, 7200.0)),
+)
+@settings(max_examples=300, deadline=None)
+def test_floor_divide_matches_python_floordiv(t, bucket):
+    ours = float(np.floor_divide(np.float64(t), np.float64(bucket)))
+    theirs = t // bucket
+    assert ours == theirs and not math.isnan(ours)

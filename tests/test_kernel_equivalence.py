@@ -1,0 +1,202 @@
+"""Vectorized ≡ scalar equivalence: the gate on the columnar kernel's contract.
+
+The kernel (``repro.kernel.columnar``) is an optimization layer, not a second
+semantics: every result surface — counters, per-bucket timelines, latency
+totals, link matrices — must be *bit-identical* to the scalar replayer, for
+any scenario, under any composition with sharding.  This suite is the
+streamed≡materialized harness's sibling: hypothesis drives traffic models,
+table policies and capacity overlays through both kernels and compares the
+full serialized runs, while the directed tests pin the edge cases — forced
+fallback under tiny tables, churn-coupled replays silently degrading to
+scalar, and the kernel composed with both shard strategies.
+
+The one deliberate divergence is invisible to any result surface: the global
+``Packet`` id counter advances less under the kernel, because vectorized
+flows never build ``Packet`` objects.
+"""
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bandwidth.spec import LinkCapacitySpec
+from repro.churn.spec import ChurnSpec
+from repro.common.errors import ConfigurationError
+from repro.core.runner import ScenarioRunner
+from repro.core.scenario import ScenarioSpec, ScheduleSpec, TraceSpec
+from repro.obs.tracer import TraceOptions
+from repro.replay.spec import ExecutionSpec
+from repro.tables.spec import TableSpec
+from repro.topology.builder import TopologyProfile
+
+SCHEDULE = ScheduleSpec(warmup_hours=0.5, duration_hours=4.0, bucket_hours=2.0)
+SYSTEMS = ("openflow", "lazyctrl-static", "lazyctrl-dynamic")
+
+#: Policies chosen to hit every kernel classification path: generous tables
+#: (pure HIT/LOCAL/INTRA), tiny ones (slack-guard demotions and evictions),
+#: and the adaptive predictor, whose per-rule timeouts force full fallback.
+TABLE_SPECS = (
+    None,
+    TableSpec(capacity=8, policy="static-idle", idle_timeout_seconds=900.0),
+    TableSpec(
+        capacity=8,
+        policy="idle-hard-hybrid",
+        idle_timeout_seconds=900.0,
+        hard_timeout_seconds=3600.0,
+    ),
+    TableSpec(capacity=4, policy="lru"),
+    TableSpec(
+        capacity=8,
+        policy="adaptive",
+        idle_timeout_seconds=900.0,
+        params={"min_timeout_seconds": 60.0, "max_timeout_seconds": 1800.0},
+    ),
+)
+
+#: Capacity overlays: no metering at all, and an undersized uplink that
+#: pushes the replay onto the kernel's ordered metered walk.
+LINK_SPECS = (None, LinkCapacitySpec(uplink_mbps=0.5, queueing_service_ms=0.25))
+
+
+def build_spec(
+    *,
+    model="realistic",
+    flows=600,
+    seed=7,
+    tables=None,
+    links=None,
+    churn=None,
+    execution=None,
+    name="kernel-equiv",
+):
+    params = {"total_flows": flows, "seed": seed}
+    if model == "incast-hotspot":
+        params.update(
+            {"hotspot_count": 2, "hotspot_flow_fraction": 0.7, "burst_window_hours": (1.0, 3.0)}
+        )
+    elif model == "elephant-mice":
+        params.update({"elephant_pair_count": 4, "elephant_flow_fraction": 0.3})
+    return ScenarioSpec(
+        name=name,
+        topology=TopologyProfile(switch_count=8, host_count=64, seed=seed),
+        traffic=TraceSpec(model=model, params=params),
+        systems=SYSTEMS,
+        schedule=SCHEDULE,
+        tables=tables,
+        links=links,
+        churn=churn,
+        execution=execution or ExecutionSpec(),
+    )
+
+
+def run_dict(spec, kernel, **run_kwargs):
+    execution = dataclasses.replace(spec.execution, kernel=kernel)
+    result = ScenarioRunner().run(dataclasses.replace(spec, execution=execution), **run_kwargs)
+    return result.to_dict()["runs"]
+
+
+def assert_equivalent(spec, **run_kwargs):
+    scalar = run_dict(spec, "scalar", **run_kwargs)
+    vectorized = run_dict(spec, "vectorized", **run_kwargs)
+    assert scalar == vectorized
+
+
+class TestHypothesisEquivalence:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    @given(
+        model=st.sampled_from(("realistic", "uniform", "elephant-mice", "incast-hotspot")),
+        flows=st.integers(min_value=200, max_value=900),
+        seed=st.integers(min_value=0, max_value=2**16),
+        tables=st.sampled_from(TABLE_SPECS),
+        links=st.sampled_from(LINK_SPECS),
+    )
+    def test_vectorized_matches_scalar(self, model, flows, seed, tables, links):
+        assert_equivalent(
+            build_spec(model=model, flows=flows, seed=seed, tables=tables, links=links)
+        )
+
+
+class TestDirectedEquivalence:
+    def test_timeline_fold_matches(self):
+        """With the tracer's timeline on, the kernel's bulk per-bucket and
+        per-latency-bin folds must land exactly where scalar emission does."""
+        assert_equivalent(build_spec(flows=500, seed=13), obs=TraceOptions(timeline=True))
+
+    def test_tiny_tables_force_fallback_yet_match(self):
+        """4-entry tables keep every switch at the slack guard's threshold,
+        so hits demote to the scalar path — and results still agree."""
+        spec = build_spec(tables=TableSpec(capacity=4, policy="lru"), flows=500, seed=3)
+        assert_equivalent(spec)
+        result = ScenarioRunner().run(
+            dataclasses.replace(spec, execution=ExecutionSpec(kernel="vectorized")),
+            collect_perf=True,
+        )
+        counters = next(iter(result.runs.values())).perf.counters
+        assert counters.get("kernel.flows_fallback", 0) > 0
+
+    def test_churn_coupled_replay_degrades_to_scalar_and_matches(self):
+        """Churn couples a simulation engine to the replay; the kernel is
+        engine-incompatible by design and must silently stand aside."""
+        spec = build_spec(churn=ChurnSpec(seed=5, migration_rate_per_hour=24.0), flows=400)
+        assert_equivalent(spec)
+        result = ScenarioRunner().run(
+            dataclasses.replace(spec, execution=ExecutionSpec(kernel="vectorized")),
+            collect_perf=True,
+        )
+        for run in result.runs.values():
+            assert "kernel.batches" not in run.perf.counters
+
+    @pytest.mark.parametrize(
+        "strategy,extra",
+        [("system", {}), ("time-window", {"shard_count": 4})],
+    )
+    def test_vectorized_composes_with_sharding(self, strategy, extra):
+        """Swapping the kernel inside a 2-worker shard pool must change
+        nothing: scalar-sharded ≡ vectorized-sharded for both strategies.
+        (Time-window shards are only defined against workers=1 of the same
+        plan, so the kernel claim is made within one execution plan.)"""
+        spec = build_spec(
+            flows=600,
+            seed=11,
+            execution=ExecutionSpec(workers=2, shard_strategy=strategy, **extra),
+        )
+        assert_equivalent(spec)
+
+    def test_vectorized_system_sharding_matches_serial_scalar(self):
+        """The system strategy additionally promises sharded ≡ serial, so
+        vectorized-sharded must land on the serial scalar run exactly."""
+        spec = build_spec(flows=600, seed=11)
+        serial_scalar = run_dict(spec, "scalar")
+        sharded = dataclasses.replace(
+            spec, execution=ExecutionSpec(kernel="vectorized", workers=2)
+        )
+        assert serial_scalar == ScenarioRunner().run(sharded).to_dict()["runs"]
+
+
+class TestNumpyGate:
+    def test_vectorized_without_numpy_raises_configuration_error(self, monkeypatch):
+        import repro.kernel as kernel_pkg
+
+        monkeypatch.setattr(kernel_pkg, "numpy_available", lambda: False)
+        with pytest.raises(ConfigurationError, match="numpy"):
+            kernel_pkg.build_batch_handler(object())
+        spec = build_spec(flows=50, execution=ExecutionSpec(kernel="vectorized"))
+        with pytest.raises(ConfigurationError, match="vectorized"):
+            ScenarioRunner().run(spec)
+
+    def test_scalar_path_never_touches_the_kernel(self, monkeypatch):
+        import repro.kernel as kernel_pkg
+
+        monkeypatch.setattr(kernel_pkg, "numpy_available", lambda: False)
+        result = ScenarioRunner().run(build_spec(flows=50))
+        assert result.runs
